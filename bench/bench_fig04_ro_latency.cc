@@ -1,0 +1,66 @@
+// Figure 4: average latency of read-only transactions executed over a
+// 2PC/BFT system vs. TransEdge, as the number of accessed clusters grows
+// from 1 to 5. The paper reports a 9-24x gap; the gap here comes from the
+// same mechanics — the baseline pays BFT batching + 2PC coordination on
+// the read path while TransEdge answers from one node per partition.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+struct Point {
+  double latency_ms = 0;
+  uint64_t completed = 0;
+};
+
+Point RunOne(workload::RoMode mode, int clusters, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  World world(setup);
+
+  // Background read-write load so dependencies exist across partitions.
+  workload::ClosedLoopRunner background(
+      world.system.get(), 6,
+      [&](Rng* rng) { return world.plans->MakeReadWrite(5, 3, 5, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0xbb);
+
+  // Measured read-only load: 5 keys spread over `clusters` clusters
+  // (1 key per cluster at the paper's default width of 5).
+  workload::ClosedLoopRunner ro(
+      world.system.get(), 10,
+      [&, clusters](Rng* rng) {
+        return world.plans->MakeReadOnly(5, clusters, rng);
+      },
+      mode, seed ^ 0xcc);
+
+  sim::Time warmup = sim::Millis(500);
+  sim::Time stop = sim::Seconds(5);
+  background.Start(warmup, stop);
+  ro.Start(warmup, stop);
+  ro.RunToCompletion();
+
+  Point point;
+  point.latency_ms = ro.stats().ro_latency.MeanMs();
+  point.completed = ro.stats().ro_completed;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 4: read-only txn latency, 2PC/BFT vs TransEdge");
+  std::printf("%-9s %14s %14s %9s\n", "clusters", "2PC/BFT(ms)",
+              "TransEdge(ms)", "speedup");
+  for (int clusters = 1; clusters <= 5; ++clusters) {
+    Point baseline = RunOne(workload::RoMode::kRegular2pc, clusters, 42);
+    Point transedge = RunOne(workload::RoMode::kTransEdge, clusters, 42);
+    std::printf("%-9d %14.2f %14.2f %8.1fx\n", clusters, baseline.latency_ms,
+                transedge.latency_ms,
+                transedge.latency_ms > 0
+                    ? baseline.latency_ms / transedge.latency_ms
+                    : 0.0);
+  }
+  return 0;
+}

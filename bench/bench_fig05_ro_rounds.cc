@@ -1,0 +1,69 @@
+// Figure 5: average latency of read-only transactions in TransEdge,
+// split into the round-1 latency and the *effective* round-2 latency
+// (extra latency weighted by how many transactions needed a second
+// round), compared with Augustus, as the number of accessed clusters
+// grows.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+struct Point {
+  double round1_ms = 0;
+  double round2_effective_ms = 0;
+  double total_ms = 0;
+  double two_round_pct = 0;
+};
+
+Point RunOne(workload::RoMode mode, int clusters, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  World world(setup);
+
+  // Cross-partition read-write traffic creates the dependencies that can
+  // trigger round 2.
+  workload::ClosedLoopRunner background(
+      world.system.get(), 8,
+      [&](Rng* rng) { return world.plans->MakeReadWrite(5, 3, 5, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0xbb);
+
+  workload::ClosedLoopRunner ro(
+      world.system.get(), 10,
+      [&, clusters](Rng* rng) {
+        return world.plans->MakeReadOnly(5, clusters, rng);
+      },
+      mode, seed ^ 0xcc);
+
+  background.Start(sim::Millis(500), sim::Seconds(5));
+  ro.Start(sim::Millis(500), sim::Seconds(5));
+  ro.RunToCompletion();
+
+  Point point;
+  point.round1_ms = ro.stats().ro_round1_latency.MeanMs();
+  point.total_ms = ro.stats().ro_latency.MeanMs();
+  point.round2_effective_ms = point.total_ms - point.round1_ms;
+  if (ro.stats().ro_completed > 0) {
+    point.two_round_pct = 100.0 *
+                          static_cast<double>(ro.stats().ro_two_round) /
+                          static_cast<double>(ro.stats().ro_completed);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 5: read-only latency by round, TransEdge vs Augustus");
+  std::printf("%-9s %12s %14s %11s %13s\n", "clusters", "round1(ms)",
+              "round2-eff(ms)", "round2(%)", "Augustus(ms)");
+  for (int clusters = 1; clusters <= 5; ++clusters) {
+    Point te = RunOne(workload::RoMode::kTransEdge, clusters, 42);
+    Point aug = RunOne(workload::RoMode::kAugustus, clusters, 42);
+    std::printf("%-9d %12.2f %14.2f %10.1f%% %13.2f\n", clusters,
+                te.round1_ms, te.round2_effective_ms, te.two_round_pct,
+                aug.total_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 6: average throughput of read-only transactions in TransEdge
+// and Augustus as the number of accessed clusters grows. TransEdge's
+// lock-free, coordination-free reads sustain higher throughput than
+// Augustus's quorum-voting locked reads at every width.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(workload::RoMode mode, int clusters, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  World world(setup);
+
+  workload::ClosedLoopRunner ro(
+      world.system.get(), 40,
+      [&, clusters](Rng* rng) {
+        return world.plans->MakeReadOnly(5, clusters, rng);
+      },
+      mode, seed ^ 0xcc, /*concurrency=*/3);
+  ro.Start(sim::Millis(500), sim::Seconds(4));
+  ro.RunToCompletion();
+  return ro.ThroughputTps();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 6: read-only throughput, TransEdge vs Augustus");
+  std::printf("%-9s %16s %16s\n", "clusters", "TransEdge(TPS)",
+              "Augustus(TPS)");
+  for (int clusters = 1; clusters <= 5; ++clusters) {
+    double te = RunOne(workload::RoMode::kTransEdge, clusters, 42);
+    double aug = RunOne(workload::RoMode::kAugustus, clusters, 42);
+    std::printf("%-9d %16.0f %16.0f\n", clusters, te, aug);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 8: read-only throughput as additional network latency is
+// injected between clusters (0 / 20 / 70 / 150 ms), for 1-5 accessed
+// clusters. Reads touching a single (home) cluster are unaffected; the
+// farther a read reaches, the more the added latency costs — but the
+// drop is bounded by one (worst case two) request rounds, unlike the
+// read-write path of Figure 12.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(int clusters, sim::Time added, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.env_opts.inter_site_latency += added;
+  World world(setup);
+
+  workload::ClosedLoopRunner ro(
+      world.system.get(), 40,
+      [&, clusters](Rng* rng) {
+        return world.plans->MakeReadOnly(5, clusters, rng);
+      },
+      workload::RoMode::kTransEdge, seed ^ 0xcc, /*concurrency=*/4);
+  ro.Start(sim::Millis(600), sim::Seconds(5));
+  ro.RunToCompletion(sim::Seconds(4));
+  return ro.ThroughputTps();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 8: read-only throughput vs added inter-cluster latency");
+  std::printf("%-9s %12s %12s %12s %12s\n", "clusters", "+0ms", "+20ms",
+              "+70ms", "+150ms");
+  for (int clusters = 1; clusters <= 5; ++clusters) {
+    std::printf("%-9d", clusters);
+    for (sim::Time added :
+         {sim::Millis(0), sim::Millis(20), sim::Millis(70),
+          sim::Millis(150)}) {
+      std::printf(" %12.0f", RunOne(clusters, added, 42));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 10: average latency of distributed read-write transactions as
+// the operation mix shifts from read-heavy (R=5,W=1 — effectively local)
+// to write-heavy (R=1,W=5 — coordination across all five clusters), for
+// several batch sizes. More write clusters mean more 2PC participants,
+// more prepare/commit rounds, and higher latency.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(int reads, int writes, size_t batch_size, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.config.max_batch_size = batch_size;
+  setup.workload.num_keys = 1000000;  // Paper key count; no preload.
+  setup.config.merkle_depth = 16;  // Keep buckets small at 100k keys.
+  World world(setup, /*preload=*/false);
+
+  workload::ClosedLoopRunner runner(
+      world.system.get(), 30,
+      [&, reads, writes](Rng* rng) {
+        return world.plans->MakeSkewedReadWrite(reads, writes, rng);
+      },
+      workload::RoMode::kTransEdge, seed ^ 0x77,
+      /*concurrency=*/static_cast<int>(batch_size / 25));
+  runner.Start(sim::Millis(400), sim::Millis(1300));
+  runner.RunToCompletion(sim::Millis(1000));
+  return runner.stats().rw_latency.MeanMs();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10: distributed read-write latency vs R/W skew");
+  std::printf("%-10s %12s %12s\n", "mix", "b=900", "b=2500");
+  const int mixes[][2] = {{5, 1}, {4, 2}, {3, 3}, {2, 4}, {1, 5}};
+  for (const auto& mix : mixes) {
+    std::printf("R=%d,W=%d  ", mix[0], mix[1]);
+    for (size_t batch : {900u, 2500u}) {
+      std::printf(" %12.1f", RunOne(mix[0], mix[1], batch, 42));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 12: distributed read-write throughput as additional latency is
+// injected between clusters (0-500 ms). Unlike read-only transactions
+// (Figure 8), the 2PC commit path crosses clusters several times, so
+// throughput collapses as the links slow down.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(sim::Time added, size_t batch_size, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.config.max_batch_size = batch_size;
+  setup.env_opts.inter_site_latency += added;
+  setup.workload.num_keys = 1000000;  // Paper key count; no preload.
+  setup.config.merkle_depth = 16;  // Keep buckets small at 100k keys.
+  World world(setup, /*preload=*/false);
+
+  workload::ClosedLoopRunner runner(
+      world.system.get(), 30,
+      [&](Rng* rng) { return world.plans->MakeReadWrite(5, 3, 5, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0x77,
+      /*concurrency=*/static_cast<int>(batch_size / 25));
+  runner.Start(sim::Millis(1500), sim::Millis(3500));
+  runner.RunToCompletion(sim::Seconds(2));
+  return runner.ThroughputTps();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figure 12: distributed read-write throughput vs added latency");
+  std::printf("%-12s %12s %12s\n", "added(ms)", "b=900", "b=2500");
+  for (sim::Time added :
+       {sim::Millis(0), sim::Millis(20), sim::Millis(70), sim::Millis(150),
+        sim::Millis(300), sim::Millis(500)}) {
+    std::printf("%-12lld", static_cast<long long>(added / sim::kMillisecond));
+    for (size_t batch : {900u, 2500u}) {
+      std::printf(" %12.0f", RunOne(added, batch, 42));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 13: percentage of aborted read-write transactions as the batch
+// size grows, for several injected inter-cluster latencies. Bigger
+// batches and slower links widen the conflict window of OCC validation
+// (Definition 3.1), so the abort rate climbs.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(size_t batch_size, sim::Time added, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.config.max_batch_size = batch_size;
+  setup.env_opts.inter_site_latency += added;
+  // Moderate key count: enough contention for a visible abort rate.
+  setup.workload.num_keys = 1000000;  // Paper key count; no preload.
+  World world(setup, /*preload=*/false);
+
+  workload::ClosedLoopRunner runner(
+      world.system.get(), 30,
+      [&](Rng* rng) { return world.plans->MakeReadWrite(5, 3, 5, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0x77,
+      /*concurrency=*/static_cast<int>(batch_size / 25));
+  runner.Start(sim::Millis(400), sim::Millis(1300));
+  runner.RunToCompletion(sim::Millis(1000));
+  return runner.AbortRatePct();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 13: read-write abort percentage vs batch size");
+  std::printf("%-11s %10s %10s %10s\n", "batch", "+0ms", "+20ms", "+70ms");
+  for (size_t batch : {1000u, 2000u, 3500u}) {
+    std::printf("%-11zu", batch);
+    for (sim::Time added :
+         {sim::Millis(0), sim::Millis(20), sim::Millis(70)}) {
+      std::printf(" %9.2f%%", RunOne(batch, added, 42));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 14: throughput as the workload mix shifts between local
+// read-write transactions (LRWT) and distributed read-write transactions
+// (DRWT). Pure-local workloads avoid 2PC entirely and run an order of
+// magnitude faster than pure-distributed ones.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(int drwt_pct, size_t batch_size, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.config.max_batch_size = batch_size;
+  setup.workload.num_keys = 1000000;  // Paper key count; no preload.
+  setup.config.merkle_depth = 16;  // Keep buckets small at 100k keys.
+  World world(setup, /*preload=*/false);
+
+  workload::ClosedLoopRunner runner(
+      world.system.get(), 30,
+      [&, drwt_pct](Rng* rng) {
+        if (rng->NextBounded(100) < static_cast<uint64_t>(drwt_pct)) {
+          return world.plans->MakeReadWrite(5, 3, 5, rng);
+        }
+        return world.plans->MakeLocalReadWrite(5, 3, rng);
+      },
+      workload::RoMode::kTransEdge, seed ^ 0x77,
+      /*concurrency=*/static_cast<int>(batch_size / 25));
+  runner.Start(sim::Millis(400), sim::Millis(1300));
+  runner.RunToCompletion(sim::Millis(1000));
+  return runner.ThroughputTps();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 14: throughput vs LRWT/DRWT workload mix");
+  std::printf("%-22s %12s\n", "mix", "b=2000");
+  for (int drwt : {100, 80, 60, 40, 20, 0}) {
+    std::printf("LRWT=%3d%%, DRWT=%3d%%  ", 100 - drwt, drwt);
+    for (size_t batch : {2000u}) {
+      std::printf(" %12.0f", RunOne(drwt, batch, 42));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

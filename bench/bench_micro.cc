@@ -1,0 +1,120 @@
+// Micro-benchmarks of TransEdge's building blocks (google-benchmark):
+// SHA-256, HMAC, Merkle updates and proofs, OCC conflict detection, and
+// CD-vector operations. These are host-machine numbers (real time), not
+// simulated time.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cd_vector.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "merkle/merkle_tree.h"
+#include "txn/types.h"
+
+namespace transedge {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_HmacSign(benchmark::State& state) {
+  crypto::HmacSignatureScheme scheme(8, 1);
+  auto signer = scheme.MakeSigner(0);
+  Bytes msg(256, 0x7e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer->Sign(msg));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_HmacVerify(benchmark::State& state) {
+  crypto::HmacSignatureScheme scheme(8, 1);
+  auto signer = scheme.MakeSigner(0);
+  Bytes msg(256, 0x7e);
+  crypto::Signature sig = signer->Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.verifier().Verify(msg, sig));
+  }
+}
+BENCHMARK(BM_HmacVerify);
+
+void BM_MerklePut(benchmark::State& state) {
+  merkle::MerkleTree tree(static_cast<int>(state.range(0)));
+  Bytes value(32, 0x11);
+  int64_t i = 0;
+  for (auto _ : state) {
+    tree.Put("key" + std::to_string(i % 4096), value, i);
+    ++i;
+  }
+}
+BENCHMARK(BM_MerklePut)->Arg(8)->Arg(13)->Arg(20);
+
+void BM_MerkleProve(benchmark::State& state) {
+  merkle::MerkleTree tree(13);
+  Bytes value(32, 0x11);
+  for (int i = 0; i < 4096; ++i) {
+    tree.Put("key" + std::to_string(i), value, i);
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Prove("key" + std::to_string(i % 4096)));
+    ++i;
+  }
+}
+BENCHMARK(BM_MerkleProve);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  merkle::MerkleTree tree(13);
+  Bytes value(32, 0x11);
+  for (int i = 0; i < 4096; ++i) {
+    tree.Put("key" + std::to_string(i), value, i);
+  }
+  merkle::MerkleProof proof = tree.Prove("key7").value();
+  crypto::Digest root = tree.RootDigest();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        merkle::MerkleTree::VerifyProof(proof, "key7", value, 7, root));
+  }
+}
+BENCHMARK(BM_MerkleVerify);
+
+void BM_ConflictCheck(benchmark::State& state) {
+  Transaction a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.read_set.push_back(ReadOp{"ra" + std::to_string(i), 0});
+    b.read_set.push_back(ReadOp{"rb" + std::to_string(i), 0});
+  }
+  for (int i = 0; i < 3; ++i) {
+    a.write_set.push_back(WriteOp{"wa" + std::to_string(i), {}});
+    b.write_set.push_back(WriteOp{"wb" + std::to_string(i), {}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conflicts(a, b));
+  }
+}
+BENCHMARK(BM_ConflictCheck);
+
+void BM_CdVectorPairwiseMax(benchmark::State& state) {
+  core::CdVector a(static_cast<size_t>(state.range(0)));
+  core::CdVector b(static_cast<size_t>(state.range(0)));
+  for (PartitionId p = 0; p < state.range(0); ++p) {
+    b.Set(p, static_cast<BatchId>(p * 3));
+  }
+  for (auto _ : state) {
+    a.PairwiseMax(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_CdVectorPairwiseMax)->Arg(5)->Arg(64);
+
+}  // namespace
+}  // namespace transedge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 1: percentage of read-write transaction aborts *caused by
+// read-only transactions*, Augustus vs TransEdge, for 1-5 accessed
+// clusters. Augustus's shared read locks abort conflicting writers;
+// TransEdge's snapshot reads never touch the write path, so its column
+// is exactly zero.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(workload::RoMode mode, int clusters, uint64_t seed) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  // Small key space: read-only scans and writers collide often.
+  setup.workload.num_keys = 4000;
+  World world(setup);
+
+  workload::ClosedLoopRunner writers(
+      world.system.get(), 12,
+      [&](Rng* rng) { return world.plans->MakeReadWrite(5, 3, 5, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0x77, /*concurrency=*/4);
+
+  // Long-ish read-only scans so Augustus's locks cover many keys.
+  workload::ClosedLoopRunner readers(
+      world.system.get(), 10,
+      [&, clusters](Rng* rng) {
+        return world.plans->MakeReadOnly(40, clusters, rng);
+      },
+      mode, seed ^ 0xcc, /*concurrency=*/2);
+
+  writers.Start(sim::Millis(500), sim::Seconds(4));
+  readers.Start(sim::Millis(500), sim::Seconds(4));
+  writers.RunToCompletion(sim::Seconds(2));
+
+  // Aborts attributed to read-only locks, as a share of write attempts.
+  uint64_t attempts =
+      writers.stats().rw_committed + writers.stats().rw_aborted;
+  if (attempts == 0) return 0;
+  return 100.0 *
+         static_cast<double>(world.system->TotalRwAbortedByRoLocks()) /
+         static_cast<double>(attempts);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 1: RW aborts caused by read-only transactions (%)");
+  std::printf("%-11s", "system");
+  for (int c = 1; c <= 5; ++c) std::printf(" %9d", c);
+  std::printf("\n%-11s", "Augustus");
+  for (int c = 1; c <= 5; ++c) {
+    std::printf(" %8.2f%%", RunOne(workload::RoMode::kAugustus, c, 42));
+  }
+  std::printf("\n%-11s", "TransEdge");
+  for (int c = 1; c <= 5; ++c) {
+    std::printf(" %8.2f%%", RunOne(workload::RoMode::kTransEdge, c, 42));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Edge IoT ledger: the workload TransEdge's introduction motivates.
+//
+// Five edge sites each host a cluster holding the telemetry ledger for
+// their region. Sensors write readings to their local cluster (local
+// transactions — no wide-area coordination). A regional dashboard runs
+// frequent cross-site *read-only* queries ("latest reading of sensor X
+// in every region"), which TransEdge serves commit-free with Merkle
+// proofs, so the dashboard can trust answers from single — possibly
+// compromised — edge nodes.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "core/system.h"
+#include "workload/generator.h"
+#include "workload/stats.h"
+
+using namespace transedge;
+
+namespace {
+
+Key SensorKey(PartitionId region, int sensor) {
+  return "region" + std::to_string(region) + "/sensor" +
+         std::to_string(sensor);
+}
+
+}  // namespace
+
+int main() {
+  core::SystemConfig config;  // 5 regions x 7 replicas, f = 2.
+  config.batch_interval = sim::Millis(10);
+  config.merkle_depth = 12;
+
+  sim::EnvironmentOptions env_opts;
+  env_opts.seed = 7;
+  env_opts.inter_site_latency = sim::Millis(5);  // Regions a few ms apart.
+
+  core::System system(config, env_opts);
+
+  // Preload: 50 sensors per region, initial reading "0".
+  std::vector<std::pair<Key, Value>> initial;
+  for (PartitionId region = 0; region < config.num_partitions; ++region) {
+    for (int sensor = 0; sensor < 50; ++sensor) {
+      initial.emplace_back(SensorKey(region, sensor), ToBytes("reading:0"));
+    }
+  }
+  // Keys must land on their region's partition; re-map by ownership.
+  // (In a deployment the partition map would be locality-aware; the
+  // hash map here just assigns each key a home, so we look it up.)
+  storage::PartitionMap pmap(config.num_partitions);
+  system.Preload(initial);
+  system.Start();
+
+  // Sensors: one writer client per region, appending readings to its
+  // own region's keys (local transactions).
+  struct RegionWriter {
+    core::Client* client;
+    PartitionId region;
+    int tick = 0;
+  };
+  std::vector<std::shared_ptr<RegionWriter>> writers;
+  workload::LatencyStats write_latency;
+  Rng rng(99);
+  for (PartitionId region = 0; region < config.num_partitions; ++region) {
+    auto writer = std::make_shared<RegionWriter>();
+    writer->client = system.AddClient();
+    writer->region = region;
+    writers.push_back(writer);
+  }
+  uint64_t writes_committed = 0;
+
+  std::function<void(std::shared_ptr<RegionWriter>)> write_loop =
+      [&](std::shared_ptr<RegionWriter> w) {
+        if (system.env().now() > sim::Seconds(4)) return;
+        // Pick a sensor key actually owned by this writer's home cluster
+        // (the hash partitioner decides ownership) so the txn is local.
+        Key key;
+        for (int attempt = 0; attempt < 256 && key.empty(); ++attempt) {
+          for (PartitionId region = 0; region < 5; ++region) {
+            Key candidate = SensorKey(
+                region, static_cast<int>(rng.NextBounded(50)));
+            if (pmap.OwnerOf(candidate) == w->region) {
+              key = candidate;
+              break;
+            }
+          }
+        }
+        if (key.empty()) {
+          write_loop(w);
+          return;
+        }
+        ++w->tick;
+        w->client->ExecuteReadWrite(
+            {}, {WriteOp{key, ToBytes("reading:" + std::to_string(w->tick))}},
+            [&, w](core::RwResult r) {
+              if (r.committed) {
+                ++writes_committed;
+                write_latency.Record(r.latency);
+              }
+              write_loop(w);
+            });
+      };
+
+  // Dashboard: cross-region read-only queries over one sensor id from
+  // every region, authenticated end to end.
+  core::Client* dashboard = system.AddClient();
+  workload::LatencyStats read_latency;
+  uint64_t reads_ok = 0, reads_two_round = 0;
+  std::function<void()> dashboard_loop = [&] {
+    if (system.env().now() > sim::Seconds(4)) return;
+    int sensor = static_cast<int>(rng.NextBounded(50));
+    std::vector<Key> query;
+    for (PartitionId region = 0; region < config.num_partitions; ++region) {
+      query.push_back(SensorKey(region, sensor));
+    }
+    dashboard->ExecuteReadOnly(query, [&](core::RoResult r) {
+      if (r.status.ok()) {
+        ++reads_ok;
+        read_latency.Record(r.latency);
+        if (r.rounds > 1) ++reads_two_round;
+      }
+      dashboard_loop();
+    });
+  };
+
+  system.env().Schedule(sim::Millis(40), [&] {
+    for (auto& w : writers) write_loop(w);
+    dashboard_loop();
+  });
+  system.env().RunUntil(sim::Seconds(6));
+
+  std::printf("edge IoT ledger, 4 simulated seconds:\n");
+  std::printf("  sensor writes committed : %llu (mean %.2f ms, local-only)\n",
+              static_cast<unsigned long long>(writes_committed),
+              write_latency.MeanMs());
+  std::printf(
+      "  dashboard queries       : %llu verified (mean %.2f ms, p99 %.2f "
+      "ms, %llu used round 2)\n",
+      static_cast<unsigned long long>(reads_ok), read_latency.MeanMs(),
+      read_latency.P99Ms(), static_cast<unsigned long long>(reads_two_round));
+  std::printf("  every answer carried an f+1-signed certificate and a "
+              "Merkle audit path\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Geo-social reads: the ">99% read-only" workload the paper cites (TAO).
+//
+// A social app shards user records and timelines across five edge
+// clusters. Posting updates *two* partitions atomically (the author's
+// record and the recipient's timeline) through a distributed read-write
+// transaction. Page loads are read-only transactions over both
+// partitions and must never observe a post on a timeline without the
+// matching author record — exactly the Figure-1 consistency problem.
+// TransEdge's CD vectors catch the window where one partition has
+// committed and the other has not, and the second round repairs it.
+
+#include <cstdio>
+#include <functional>
+
+#include "core/system.h"
+#include "workload/generator.h"
+#include "workload/stats.h"
+
+using namespace transedge;
+
+int main() {
+  core::SystemConfig config;  // 5 clusters x 7 replicas.
+  config.batch_interval = sim::Millis(8);
+  config.merkle_depth = 12;
+
+  sim::EnvironmentOptions env_opts;
+  env_opts.seed = 13;
+  env_opts.inter_site_latency = sim::Millis(6);
+
+  core::System system(config, env_opts);
+
+  // Users: user<i>/record and user<i>/timeline. The hash partitioner
+  // scatters them, so most post() calls cross clusters.
+  const int kUsers = 40;
+  auto record_key = [](int u) { return "user" + std::to_string(u) + "/rec"; };
+  auto timeline_key = [](int u) {
+    return "user" + std::to_string(u) + "/tl";
+  };
+  std::vector<std::pair<Key, Value>> initial;
+  for (int u = 0; u < kUsers; ++u) {
+    initial.emplace_back(record_key(u), ToBytes("post:none"));
+    initial.emplace_back(timeline_key(u), ToBytes("post:none"));
+  }
+  system.Preload(initial);
+  system.Start();
+
+  Rng rng(5);
+  core::Client* poster = system.AddClient();
+  core::Client* browser = system.AddClient();
+
+  int post_id = 0;
+  uint64_t posts = 0;
+  std::function<void()> post_loop = [&] {
+    if (system.env().now() > sim::Seconds(4)) return;
+    int author = static_cast<int>(rng.NextBounded(kUsers));
+    int follower = static_cast<int>(rng.NextBounded(kUsers));
+    std::string post = "post:" + std::to_string(++post_id);
+    // Atomic: author's record and follower's timeline get the same post.
+    poster->ExecuteReadWrite(
+        {},
+        {WriteOp{record_key(author), ToBytes(post)},
+         WriteOp{timeline_key(follower), ToBytes(post)}},
+        [&, author, follower](core::RwResult r) {
+          if (r.committed) ++posts;
+          post_loop();
+        });
+  };
+
+  workload::LatencyStats page_latency;
+  uint64_t pages = 0, two_round_pages = 0, torn_pages = 0;
+  std::function<void()> browse_loop = [&] {
+    if (system.env().now() > sim::Seconds(4)) return;
+    // Page load: a user's record + a timeline, one key from each of the
+    // (usually different) partitions.
+    int u = static_cast<int>(rng.NextBounded(kUsers));
+    int v = static_cast<int>(rng.NextBounded(kUsers));
+    Key rk = record_key(u), tk = timeline_key(v);
+    browser->ExecuteReadOnly({rk, tk}, [&, rk, tk](core::RoResult r) {
+      if (r.status.ok()) {
+        ++pages;
+        page_latency.Record(r.latency);
+        if (r.rounds > 1) ++two_round_pages;
+        // The snapshot must be internally consistent — a page never
+        // mixes "before the post" and "after the post" states in a way
+        // the dependency check would have to repair. (We cannot assert
+        // value equality here because record/timeline pairs differ per
+        // post target; the serializability tests cover the invariant.)
+        if (r.needed_third_round) ++torn_pages;
+      }
+      browse_loop();
+    });
+  };
+
+  system.env().Schedule(sim::Millis(40), [&] {
+    post_loop();
+    browse_loop();
+  });
+  system.env().RunUntil(sim::Seconds(7));
+
+  std::printf("geo-social reads, 4 simulated seconds:\n");
+  std::printf("  posts committed (2-partition atomic writes): %llu\n",
+              static_cast<unsigned long long>(posts));
+  std::printf("  page loads served: %llu (mean %.2f ms, p99 %.2f ms)\n",
+              static_cast<unsigned long long>(pages), page_latency.MeanMs(),
+              page_latency.P99Ms());
+  std::printf("  pages needing the dependency-repair round: %llu\n",
+              static_cast<unsigned long long>(two_round_pages));
+  std::printf("  pages with residual unsatisfied dependencies: %llu\n",
+              static_cast<unsigned long long>(torn_pages));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: bring up a 3-cluster TransEdge deployment, commit a local
+// and a distributed read-write transaction, then run an authenticated
+// snapshot read-only transaction across partitions.
+//
+//   $ ./quickstart
+//
+// Everything runs inside the discrete-event simulator: latencies below
+// are simulated milliseconds, deterministic for the chosen seed.
+
+#include <cstdio>
+
+#include "core/system.h"
+#include "workload/generator.h"
+
+using namespace transedge;
+
+int main() {
+  // 1. Configure: 3 partitions, f = 1 (4 replicas per cluster).
+  core::SystemConfig config;
+  config.num_partitions = 3;
+  config.f = 1;
+  config.batch_interval = sim::Millis(5);
+  config.merkle_depth = 10;
+
+  sim::EnvironmentOptions env_opts;
+  env_opts.seed = 2024;
+  env_opts.inter_site_latency = sim::Millis(2);
+
+  core::System system(config, env_opts);
+
+  // 2. Preload a small key space and start the clusters.
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = 1000;
+  wopts.value_size = 16;
+  workload::KeySpace keys(wopts, config.num_partitions);
+  system.Preload(keys.InitialData());
+  system.Start();
+
+  core::Client* client = system.AddClient();
+
+  // Pick one key per partition.
+  storage::PartitionMap pmap(config.num_partitions);
+  Rng rng(7);
+  Key k0, k1, k2;
+  while (k0.empty() || k1.empty() || k2.empty()) {
+    const Key& k = keys.RandomKey(&rng);
+    PartitionId p = pmap.OwnerOf(k);
+    if (p == 0 && k0.empty()) k0 = k;
+    if (p == 1 && k1.empty()) k1 = k;
+    if (p == 2 && k2.empty()) k2 = k;
+  }
+
+  // 3. A local transaction: read k0, write it back.
+  system.env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite(
+        {k0}, {WriteOp{k0, ToBytes("hello-local")}},
+        [&](core::RwResult r) {
+          std::printf("[%6.2f ms] local txn %s (latency %.2f ms)\n",
+                      sim::ToMillis(system.env().now()),
+                      r.committed ? "COMMITTED" : "ABORTED",
+                      sim::ToMillis(r.latency));
+
+          // 4. A distributed transaction across partitions 1 and 2,
+          //    committed through 2PC layered over BFT consensus.
+          client->ExecuteReadWrite(
+              {k1, k2},
+              {WriteOp{k1, ToBytes("hello-x")}, WriteOp{k2, ToBytes("hello-y")}},
+              [&](core::RwResult r2) {
+                std::printf(
+                    "[%6.2f ms] distributed txn %s (latency %.2f ms)\n",
+                    sim::ToMillis(system.env().now()),
+                    r2.committed ? "COMMITTED" : "ABORTED",
+                    sim::ToMillis(r2.latency));
+
+                // 5. A snapshot read-only transaction over all three
+                //    partitions: one round in the common case, Merkle-
+                //    verified, commit-free.
+                client->ExecuteReadOnly(
+                    {k0, k1, k2}, [&](core::RoResult ro) {
+                      std::printf(
+                          "[%6.2f ms] read-only txn %s in %d round(s) "
+                          "(latency %.2f ms)\n",
+                          sim::ToMillis(system.env().now()),
+                          ro.status.ok() ? "VERIFIED" : "FAILED", ro.rounds,
+                          sim::ToMillis(ro.latency));
+                      for (const auto& [key, value] : ro.values) {
+                        std::printf("    %s = %s\n", key.c_str(),
+                                    value.has_value()
+                                        ? ToString(*value).c_str()
+                                        : "<absent>");
+                      }
+                    });
+              });
+        });
+  });
+
+  system.env().RunUntil(sim::Seconds(3));
+  std::printf("done. batches decided across all replicas: %llu\n",
+              static_cast<unsigned long long>(system.TotalBatches()));
+  return 0;
+}

@@ -1,0 +1,84 @@
+#ifndef TRANSEDGE_COMMON_RESULT_H_
+#define TRANSEDGE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace transedge {
+
+/// Either a value of type `T` or a non-OK `Status`, following the
+/// Arrow `Result<T>` idiom.
+///
+///     Result<Batch> r = log.GetBatch(id);
+///     if (!r.ok()) return r.status();
+///     const Batch& batch = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so that
+  /// functions can `return value;`.
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. Intentionally implicit so that
+  /// functions can `return Status::NotFound(...)`. `status` must be non-OK.
+  Result(Status status) : inner_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(inner_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  /// Returns the error, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(inner_);
+  }
+
+  /// Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(inner_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> inner_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or assigning the
+/// value into `lhs`.
+#define TE_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  TE_ASSIGN_OR_RETURN_IMPL(                          \
+      TE_CONCAT_NAME(_te_result_, __LINE__), lhs, rexpr)
+
+#define TE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).value()
+
+#define TE_CONCAT_NAME(x, y) TE_CONCAT_NAME_IMPL(x, y)
+#define TE_CONCAT_NAME_IMPL(x, y) x##y
+
+}  // namespace transedge
+
+#endif  // TRANSEDGE_COMMON_RESULT_H_

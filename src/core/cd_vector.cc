@@ -1,0 +1,66 @@
+#include "core/cd_vector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace transedge::core {
+
+void CdVector::PairwiseMax(const CdVector& other) {
+  assert(deps_.size() == other.deps_.size());
+  for (size_t i = 0; i < deps_.size(); ++i) {
+    deps_[i] = std::max(deps_[i], other.deps_[i]);
+  }
+}
+
+bool CdVector::CoveredBy(const CdVector& other) const {
+  assert(deps_.size() == other.deps_.size());
+  for (size_t i = 0; i < deps_.size(); ++i) {
+    if (deps_[i] > other.deps_[i]) return false;
+  }
+  return true;
+}
+
+void CdVector::EncodeTo(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(deps_.size()));
+  for (BatchId b : deps_) enc->PutI64(b);
+}
+
+Result<CdVector> CdVector::DecodeFrom(Decoder* dec) {
+  CdVector v;
+  TE_ASSIGN_OR_RETURN(uint32_t n, dec->GetCount());
+  v.deps_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TE_ASSIGN_OR_RETURN(BatchId b, dec->GetI64());
+    v.deps_.push_back(b);
+  }
+  return v;
+}
+
+std::map<PartitionId, BatchId> ComputeUnsatisfiedDependencies(
+    const std::map<PartitionId, RoPartitionView>& views) {
+  std::map<PartitionId, BatchId> needed;
+  for (const auto& [pi, view_i] : views) {
+    if (view_i.cd_vector.empty()) continue;
+    for (const auto& [pj, view_j] : views) {
+      if (pi == pj) continue;
+      BatchId dep = view_i.cd_vector.Get(pj);
+      if (dep > view_j.lce) {
+        auto it = needed.find(pj);
+        if (it == needed.end() || it->second < dep) needed[pj] = dep;
+      }
+    }
+  }
+  return needed;
+}
+
+std::string CdVector::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < deps_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(deps_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace transedge::core

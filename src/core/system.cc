@@ -1,0 +1,130 @@
+#include "core/system.h"
+
+#include <cassert>
+
+#include "storage/partition_map.h"
+
+namespace transedge::core {
+
+namespace {
+/// Principal-id space: replicas first, then up to this many clients.
+constexpr uint32_t kMaxClients = 4096;
+}  // namespace
+
+System::System(const SystemConfig& config,
+               const sim::EnvironmentOptions& env_opts)
+    : config_(config),
+      env_(env_opts),
+      scheme_(config.total_replicas() + kMaxClients, env_opts.seed ^ 0x5ed) {
+  nodes_.reserve(config_.total_replicas());
+  for (uint32_t id = 0; id < config_.total_replicas(); ++id) {
+    auto node = std::make_unique<TransEdgeNode>(
+        config_, id, &env_, scheme_.MakeSigner(id), &scheme_.verifier());
+    // Replicas of partition p are co-located at site p.
+    env_.network().Register(id, config_.PartitionOfNode(id), node.get());
+    nodes_.push_back(std::move(node));
+  }
+}
+
+System::PreloadState System::BuildPreloadState(
+    uint32_t num_partitions, int merkle_depth,
+    const std::vector<std::pair<Key, Value>>& data) {
+  storage::PartitionMap pmap(num_partitions);
+  PreloadState state;
+  state.stores.resize(num_partitions);
+  state.trees.reserve(num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    state.trees.emplace_back(merkle_depth);
+  }
+  for (const auto& [key, value] : data) {
+    PartitionId p = pmap.OwnerOf(key);
+    state.stores[p].Put(key, value, 0);
+    state.trees[p].Put(key, value, 0);
+  }
+  return state;
+}
+
+void System::Preload(const std::vector<std::pair<Key, Value>>& data) {
+  Preload(BuildPreloadState(config_.num_partitions, config_.merkle_depth,
+                            data));
+}
+
+void System::Preload(const PreloadState& state) {
+  assert(!started_);
+  assert(state.stores.size() == config_.num_partitions);
+  // Share the per-partition state with every replica of that cluster:
+  // the replicas would arrive at identical state anyway, and the Merkle
+  // tree is persistent, so structural sharing is safe.
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    for (uint32_t i = 0; i < config_.replicas_per_cluster(); ++i) {
+      nodes_[config_.ReplicaNode(p, i)]->Preload(state.stores[p],
+                                                 state.trees[p]);
+    }
+  }
+}
+
+void System::Start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& node : nodes_) {
+    TransEdgeNode* raw = node.get();
+    env_.ScheduleAt(0, [raw] { raw->OnStart(); });
+  }
+}
+
+Client* System::AddClient() {
+  uint32_t index = static_cast<uint32_t>(clients_.size());
+  assert(index < kMaxClients);
+  crypto::NodeId id = config_.ClientNode(index);
+  auto client =
+      std::make_unique<Client>(config_, id, &env_, &scheme_.verifier());
+  // Clients are co-located with a home cluster, round-robin — the
+  // paper's clients sit at the edge next to their nearest cluster.
+  env_.network().Register(id, index % config_.num_partitions, client.get());
+  clients_.push_back(std::move(client));
+  return clients_.back().get();
+}
+
+TransEdgeNode* System::leader(PartitionId p) {
+  for (uint32_t i = 0; i < config_.replicas_per_cluster(); ++i) {
+    TransEdgeNode* n = node(p, i);
+    if (n->IsLeader()) return n;
+  }
+  return node(p, 0);
+}
+
+uint64_t System::TotalLocalCommitted() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().local_committed;
+  return total;
+}
+
+uint64_t System::TotalDistCommitted() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().dist_committed;
+  return total;
+}
+
+uint64_t System::TotalAborted() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->stats().local_aborted + node->stats().dist_aborted;
+  }
+  return total;
+}
+
+uint64_t System::TotalRwAbortedByRoLocks() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->stats().rw_aborted_by_ro_locks;
+  }
+  return total;
+}
+
+uint64_t System::TotalBatches() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().batches_decided;
+  return total;
+}
+
+}  // namespace transedge::core

@@ -1,0 +1,94 @@
+#ifndef TRANSEDGE_CORE_SYSTEM_H_
+#define TRANSEDGE_CORE_SYSTEM_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/client.h"
+#include "core/config.h"
+#include "core/node.h"
+#include "crypto/signer.h"
+#include "sim/environment.h"
+
+namespace transedge::core {
+
+/// Builds and owns a whole simulated TransEdge deployment: the event
+/// queue and network, the signature scheme, `num_partitions` clusters of
+/// `3f+1` replicas each, and any number of clients.
+///
+///     SystemConfig config;                 // 5 clusters x 7 replicas
+///     sim::EnvironmentOptions env_opts;
+///     System system(config, env_opts);
+///     system.Preload(data);                // identical state everywhere
+///     system.Start();                      // genesis batches certify it
+///     Client* client = system.AddClient();
+///     client->ExecuteReadOnly(keys, [&](RoResult r) { ... });
+///     system.env().RunUntil(sim::Seconds(10));
+class System {
+ public:
+  System(const SystemConfig& config, const sim::EnvironmentOptions& env_opts);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Pre-built initial state, one (store, tree) per partition. Building
+  /// it is the expensive part of Preload; benches cache it across runs.
+  struct PreloadState {
+    std::vector<storage::VersionedStore> stores;
+    std::vector<merkle::MerkleTree> trees;
+  };
+
+  static PreloadState BuildPreloadState(
+      uint32_t num_partitions, int merkle_depth,
+      const std::vector<std::pair<Key, Value>>& data);
+
+  /// Installs `data` as the initial database state on every replica.
+  /// Must be called before Start().
+  void Preload(const std::vector<std::pair<Key, Value>>& data);
+
+  /// Same, from a pre-built (possibly cached) state. The state's
+  /// geometry must match this system's configuration.
+  void Preload(const PreloadState& state);
+
+  /// Starts all replica actors (leaders immediately certify a genesis
+  /// batch covering the preloaded state).
+  void Start();
+
+  /// Creates a client co-located with cluster `home % num_partitions`.
+  Client* AddClient();
+
+  TransEdgeNode* node(PartitionId p, uint32_t replica_index) {
+    return nodes_[config_.ReplicaNode(p, replica_index)].get();
+  }
+  const TransEdgeNode* node(PartitionId p, uint32_t replica_index) const {
+    return nodes_[config_.ReplicaNode(p, replica_index)].get();
+  }
+
+  /// The replica currently acting as leader of partition `p` (by its own
+  /// view); never null.
+  TransEdgeNode* leader(PartitionId p);
+
+  sim::Environment& env() { return env_; }
+  const SystemConfig& config() const { return config_; }
+  const crypto::Verifier& verifier() const { return scheme_.verifier(); }
+
+  // Aggregate statistics across all nodes (for benches).
+  uint64_t TotalLocalCommitted() const;
+  uint64_t TotalDistCommitted() const;
+  uint64_t TotalAborted() const;
+  uint64_t TotalRwAbortedByRoLocks() const;
+  uint64_t TotalBatches() const;
+
+ private:
+  SystemConfig config_;
+  sim::Environment env_;
+  crypto::HmacSignatureScheme scheme_;
+  std::vector<std::unique_ptr<TransEdgeNode>> nodes_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_SYSTEM_H_

@@ -1,0 +1,40 @@
+#include "crypto/key_store.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace transedge::crypto {
+
+KeyStore::KeyStore(uint32_t num_principals, uint64_t master_seed)
+    : num_principals_(num_principals), master_seed_(master_seed) {}
+
+Result<Bytes> KeyStore::PairwiseKey(NodeId a, NodeId b) const {
+  if (a >= num_principals_ || b >= num_principals_) {
+    return Status::InvalidArgument("unknown principal id");
+  }
+  if (restricted_ && a != owner_ && b != owner_) {
+    return Status::FailedPrecondition(
+        "restricted key store cannot read keys of other principals");
+  }
+  NodeId lo = std::min(a, b);
+  NodeId hi = std::max(a, b);
+  Encoder enc;
+  enc.PutString("transedge-pairwise-key");
+  enc.PutU64(master_seed_);
+  enc.PutU32(lo);
+  enc.PutU32(hi);
+  Digest d = Sha256::Hash(enc.buffer());
+  return Bytes(d.bytes.begin(), d.bytes.end());
+}
+
+KeyStore KeyStore::RestrictedTo(NodeId owner) const {
+  KeyStore ks;
+  ks.num_principals_ = num_principals_;
+  ks.master_seed_ = master_seed_;
+  ks.restricted_ = true;
+  ks.owner_ = owner;
+  return ks;
+}
+
+}  // namespace transedge::crypto

@@ -1,0 +1,54 @@
+#ifndef TRANSEDGE_CRYPTO_KEY_STORE_H_
+#define TRANSEDGE_CRYPTO_KEY_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace transedge::crypto {
+
+/// Globally unique node identifier. Clients also receive NodeIds from a
+/// disjoint range so they can authenticate requests and responses.
+using NodeId = uint32_t;
+
+/// Holds the pairwise symmetric secrets between every pair of principals.
+///
+/// In a deployment each edge node would run a key-exchange with its peers
+/// (or derive pairwise keys from registered public keys); here a trusted
+/// setup derives each pairwise secret deterministically from a master
+/// seed. The security property the protocols rely on — node `a` cannot
+/// produce an authenticator that verifies under a key it does not hold —
+/// is preserved because byzantine behaviours in this codebase only access
+/// keys through their own `KeyStore` view (see RestrictedTo()).
+class KeyStore {
+ public:
+  /// Trusted-setup construction: derives all pairwise keys for node ids
+  /// [0, num_principals) from `master_seed`.
+  KeyStore(uint32_t num_principals, uint64_t master_seed);
+
+  /// The symmetric key shared by `a` and `b` (order-independent).
+  /// Fails for unknown principals or when this view is restricted to a
+  /// principal that is neither `a` nor `b`.
+  Result<Bytes> PairwiseKey(NodeId a, NodeId b) const;
+
+  /// Returns a view of this key store that can only read keys involving
+  /// `owner` — what a single (possibly byzantine) node legitimately holds.
+  KeyStore RestrictedTo(NodeId owner) const;
+
+  uint32_t num_principals() const { return num_principals_; }
+
+ private:
+  KeyStore() = default;
+
+  uint32_t num_principals_ = 0;
+  uint64_t master_seed_ = 0;
+  bool restricted_ = false;
+  NodeId owner_ = 0;
+};
+
+}  // namespace transedge::crypto
+
+#endif  // TRANSEDGE_CRYPTO_KEY_STORE_H_

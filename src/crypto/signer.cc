@@ -1,0 +1,117 @@
+#include "crypto/signer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace transedge::crypto {
+
+namespace {
+
+Bytes DeriveSigningKey(uint64_t master_seed, NodeId id) {
+  Encoder enc;
+  enc.PutString("transedge-signing-key");
+  enc.PutU64(master_seed);
+  enc.PutU32(id);
+  Digest d = Sha256::Hash(enc.buffer());
+  return Bytes(d.bytes.begin(), d.bytes.end());
+}
+
+class HmacSigner : public Signer {
+ public:
+  HmacSigner(NodeId id, Bytes key) : id_(id), key_(std::move(key)) {}
+
+  NodeId id() const override { return id_; }
+
+  Signature Sign(const Bytes& message) const override {
+    return Signature{id_, HmacSha256(key_, message)};
+  }
+
+ private:
+  NodeId id_;
+  Bytes key_;
+};
+
+class HmacVerifier : public Verifier {
+ public:
+  HmacVerifier(uint32_t num_principals, uint64_t master_seed)
+      : num_principals_(num_principals), master_seed_(master_seed) {}
+
+  bool Verify(const Bytes& message, const Signature& sig) const override {
+    if (sig.signer >= num_principals_) return false;
+    Bytes key = DeriveSigningKey(master_seed_, sig.signer);
+    Digest expected = HmacSha256(key, message);
+    return ConstantTimeEquals(expected, sig.mac);
+  }
+
+ private:
+  uint32_t num_principals_;
+  uint64_t master_seed_;
+};
+
+}  // namespace
+
+void Signature::EncodeTo(Encoder* enc) const {
+  enc->PutU32(signer);
+  enc->PutRaw(mac.bytes.data(), mac.bytes.size());
+}
+
+Result<Signature> Signature::DecodeFrom(Decoder* dec) {
+  Signature sig;
+  TE_ASSIGN_OR_RETURN(sig.signer, dec->GetU32());
+  TE_ASSIGN_OR_RETURN(Bytes raw, dec->GetRaw(32));
+  std::copy(raw.begin(), raw.end(), sig.mac.bytes.begin());
+  return sig;
+}
+
+HmacSignatureScheme::HmacSignatureScheme(uint32_t num_principals,
+                                         uint64_t master_seed)
+    : num_principals_(num_principals),
+      master_seed_(master_seed),
+      verifier_(std::make_unique<HmacVerifier>(num_principals, master_seed)) {}
+
+HmacSignatureScheme::~HmacSignatureScheme() = default;
+
+std::unique_ptr<Signer> HmacSignatureScheme::MakeSigner(NodeId id) const {
+  return std::make_unique<HmacSigner>(id, DeriveSigningKey(master_seed_, id));
+}
+
+void SignatureSet::EncodeTo(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(signatures.size()));
+  for (const Signature& sig : signatures) {
+    sig.EncodeTo(enc);
+  }
+}
+
+Result<SignatureSet> SignatureSet::DecodeFrom(Decoder* dec) {
+  SignatureSet set;
+  TE_ASSIGN_OR_RETURN(uint32_t count, dec->GetCount());
+  set.signatures.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TE_ASSIGN_OR_RETURN(Signature sig, Signature::DecodeFrom(dec));
+    set.signatures.push_back(sig);
+  }
+  return set;
+}
+
+Status SignatureSet::VerifyQuorum(const Verifier& verifier,
+                                  const Bytes& message, size_t required,
+                                  const std::vector<NodeId>& member_ids) const {
+  std::set<NodeId> distinct_valid;
+  for (const Signature& sig : signatures) {
+    if (std::find(member_ids.begin(), member_ids.end(), sig.signer) ==
+        member_ids.end()) {
+      continue;  // Signer is not a member of the expected group.
+    }
+    if (!verifier.Verify(message, sig)) {
+      return Status::VerificationFailed(
+          "certificate contains an invalid signature");
+    }
+    distinct_valid.insert(sig.signer);
+  }
+  if (distinct_valid.size() < required) {
+    return Status::VerificationFailed("certificate quorum too small");
+  }
+  return Status::OK();
+}
+
+}  // namespace transedge::crypto

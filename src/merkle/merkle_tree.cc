@@ -1,0 +1,276 @@
+#include "merkle/merkle_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace transedge::merkle {
+
+namespace {
+
+/// Digest of a leaf bucket: hash over the sorted entries. An empty bucket
+/// at level `depth` uses the precomputed empty digest instead.
+crypto::Digest BucketDigest(const std::vector<BucketEntry>& bucket) {
+  Encoder enc;
+  enc.PutString("leaf");
+  enc.PutU32(static_cast<uint32_t>(bucket.size()));
+  for (const BucketEntry& e : bucket) {
+    enc.PutString(e.key);
+    enc.PutRaw(e.value_digest.bytes.data(), e.value_digest.bytes.size());
+    enc.PutI64(e.version);
+  }
+  return crypto::Sha256::Hash(enc.buffer());
+}
+
+/// Precomputes the digest of an entirely-empty subtree at each level.
+/// empty[depth] is the empty-leaf digest; empty[0] the empty-root digest.
+/// The empty leaf hashes as an empty *bucket* so that absence proofs
+/// (whose bucket is empty) recompute the same digest.
+std::vector<crypto::Digest> ComputeEmptyDigests(int depth) {
+  std::vector<crypto::Digest> empty(depth + 1);
+  empty[depth] = BucketDigest({});
+  for (int level = depth - 1; level >= 0; --level) {
+    empty[level] = crypto::HashPair(empty[level + 1], empty[level + 1]);
+  }
+  return empty;
+}
+
+}  // namespace
+
+struct MerkleTree::Node {
+  crypto::Digest digest;
+  NodeRef left;                     // Interior nodes only.
+  NodeRef right;                    // Interior nodes only.
+  std::vector<BucketEntry> bucket;  // Leaves only.
+  bool is_leaf = false;
+};
+
+MerkleTree::MerkleTree(int depth)
+    : depth_(depth),
+      root_(nullptr),
+      empty_digests_(std::make_shared<const std::vector<crypto::Digest>>(
+          ComputeEmptyDigests(depth))) {}
+
+MerkleTree::~MerkleTree() = default;
+
+uint32_t MerkleTree::LeafIndexFor(const std::string& key, int depth) {
+  crypto::Digest d = crypto::Sha256::Hash(key);
+  uint32_t prefix = (static_cast<uint32_t>(d.bytes[0]) << 24) |
+                    (static_cast<uint32_t>(d.bytes[1]) << 16) |
+                    (static_cast<uint32_t>(d.bytes[2]) << 8) |
+                    static_cast<uint32_t>(d.bytes[3]);
+  return prefix >> (32 - depth);
+}
+
+crypto::Digest MerkleTree::DigestOf(const NodeRef& node, int level,
+                                    const std::vector<crypto::Digest>& empty) {
+  return node == nullptr ? empty[level] : node->digest;
+}
+
+MerkleTree::NodeRef MerkleTree::PutRec(
+    const NodeRef& node, int level, int depth, uint32_t leaf_index,
+    const BucketEntry& entry, const std::vector<crypto::Digest>& empty) {
+  auto next = std::make_shared<Node>();
+  if (level == depth) {
+    next->is_leaf = true;
+    if (node != nullptr) next->bucket = node->bucket;
+    auto it = std::find_if(
+        next->bucket.begin(), next->bucket.end(),
+        [&entry](const BucketEntry& e) { return e.key == entry.key; });
+    if (it != next->bucket.end()) {
+      *it = entry;
+    } else {
+      // Keep buckets sorted so digests are canonical.
+      auto pos = std::lower_bound(
+          next->bucket.begin(), next->bucket.end(), entry,
+          [](const BucketEntry& a, const BucketEntry& b) {
+            return a.key < b.key;
+          });
+      next->bucket.insert(pos, entry);
+    }
+    next->digest = BucketDigest(next->bucket);
+    return next;
+  }
+
+  // Interior: descend left or right based on the bit at this level.
+  bool go_right = (leaf_index >> (depth - 1 - level)) & 1;
+  NodeRef old_left = node ? node->left : nullptr;
+  NodeRef old_right = node ? node->right : nullptr;
+  if (go_right) {
+    next->left = old_left;
+    next->right = PutRec(old_right, level + 1, depth, leaf_index, entry, empty);
+  } else {
+    next->left = PutRec(old_left, level + 1, depth, leaf_index, entry, empty);
+    next->right = old_right;
+  }
+  next->digest = crypto::HashPair(DigestOf(next->left, level + 1, empty),
+                                  DigestOf(next->right, level + 1, empty));
+  return next;
+}
+
+MerkleTree MerkleTree::Clone() const {
+  MerkleTree copy(depth_);
+  copy.root_ = root_;
+  copy.empty_digests_ = empty_digests_;
+  return copy;
+}
+
+MerkleTree MerkleTree::FromSnapshot(const Snapshot& snapshot) {
+  assert(snapshot.valid());
+  MerkleTree tree(snapshot.depth_);
+  tree.root_ = snapshot.root_;
+  tree.empty_digests_ = snapshot.empty_digests_;
+  return tree;
+}
+
+void MerkleTree::Put(const std::string& key, const Bytes& value,
+                     int64_t version) {
+  BucketEntry entry{key, crypto::Sha256::Hash(value), version};
+  root_ = PutRec(root_, 0, depth_, LeafIndexFor(key, depth_), entry,
+                 *empty_digests_);
+}
+
+crypto::Digest MerkleTree::RootDigest() const {
+  return DigestOf(root_, 0, *empty_digests_);
+}
+
+MerkleTree::Snapshot MerkleTree::GetSnapshot() const {
+  Snapshot snap;
+  snap.depth_ = depth_;
+  snap.root_ = root_;
+  snap.empty_digests_ = empty_digests_;
+  return snap;
+}
+
+crypto::Digest MerkleTree::Snapshot::RootDigest() const {
+  if (!valid()) return crypto::Digest{};
+  return MerkleTree::DigestOf(root_, 0, *empty_digests_);
+}
+
+Result<MerkleProof> MerkleTree::Prove(const std::string& key) const {
+  return ProveAt(GetSnapshot(), key);
+}
+
+Result<MerkleProof> MerkleTree::ProveAt(const Snapshot& snapshot,
+                                        const std::string& key) {
+  if (!snapshot.valid()) {
+    return Status::FailedPrecondition("null merkle snapshot");
+  }
+  const auto& empty = *snapshot.empty_digests_;
+  int depth = snapshot.depth_;
+  MerkleProof proof;
+  proof.leaf_index = LeafIndexFor(key, depth);
+
+  // Walk down collecting siblings top-down, then reverse to bottom-up.
+  std::vector<crypto::Digest> top_down;
+  NodeRef node = snapshot.root_;
+  for (int level = 0; level < depth; ++level) {
+    bool go_right = (proof.leaf_index >> (depth - 1 - level)) & 1;
+    NodeRef left = node ? node->left : nullptr;
+    NodeRef right = node ? node->right : nullptr;
+    top_down.push_back(go_right ? DigestOf(left, level + 1, empty)
+                                : DigestOf(right, level + 1, empty));
+    node = go_right ? right : left;
+  }
+  // A null node here means the leaf bucket is empty: the proof carries an
+  // empty bucket and doubles as a proof of absence.
+  if (node != nullptr) proof.bucket = node->bucket;
+  proof.siblings.assign(top_down.rbegin(), top_down.rend());
+  return proof;
+}
+
+Status MerkleTree::VerifyAbsence(const MerkleProof& proof,
+                                 const std::string& key,
+                                 const crypto::Digest& root) {
+  if (proof.leaf_index != LeafIndexFor(key, static_cast<int>(
+                                                proof.siblings.size()))) {
+    return Status::VerificationFailed("proof leaf index mismatch for key");
+  }
+  auto it = std::find_if(
+      proof.bucket.begin(), proof.bucket.end(),
+      [&key](const BucketEntry& e) { return e.key == key; });
+  if (it != proof.bucket.end()) {
+    return Status::VerificationFailed("key is present, not absent");
+  }
+  if (proof.ComputeRoot() != root) {
+    return Status::VerificationFailed("computed root does not match");
+  }
+  return Status::OK();
+}
+
+crypto::Digest MerkleProof::ComputeRoot() const {
+  crypto::Digest acc = BucketDigest(bucket);
+  int depth = static_cast<int>(siblings.size());
+  for (int i = 0; i < depth; ++i) {
+    // siblings[i] sits at level depth-i; our position bit at that level is
+    // bit i of the leaf index.
+    bool node_is_right = (leaf_index >> i) & 1;
+    acc = node_is_right ? crypto::HashPair(siblings[i], acc)
+                        : crypto::HashPair(acc, siblings[i]);
+  }
+  return acc;
+}
+
+Status MerkleTree::VerifyProof(const MerkleProof& proof,
+                               const std::string& key, const Bytes& value,
+                               int64_t version, const crypto::Digest& root) {
+  if (proof.leaf_index != LeafIndexFor(key, static_cast<int>(
+                                                proof.siblings.size()))) {
+    return Status::VerificationFailed("proof leaf index mismatch for key");
+  }
+  auto it = std::find_if(
+      proof.bucket.begin(), proof.bucket.end(),
+      [&key](const BucketEntry& e) { return e.key == key; });
+  if (it == proof.bucket.end()) {
+    return Status::VerificationFailed("key missing from proof bucket");
+  }
+  if (it->value_digest != crypto::Sha256::Hash(value)) {
+    return Status::VerificationFailed("value digest mismatch");
+  }
+  if (it->version != version) {
+    return Status::VerificationFailed("version mismatch");
+  }
+  if (proof.ComputeRoot() != root) {
+    return Status::VerificationFailed("computed root does not match");
+  }
+  return Status::OK();
+}
+
+void MerkleProof::EncodeTo(Encoder* enc) const {
+  enc->PutU32(leaf_index);
+  enc->PutU32(static_cast<uint32_t>(bucket.size()));
+  for (const BucketEntry& e : bucket) {
+    enc->PutString(e.key);
+    enc->PutRaw(e.value_digest.bytes.data(), e.value_digest.bytes.size());
+    enc->PutI64(e.version);
+  }
+  enc->PutU32(static_cast<uint32_t>(siblings.size()));
+  for (const crypto::Digest& d : siblings) {
+    enc->PutRaw(d.bytes.data(), d.bytes.size());
+  }
+}
+
+Result<MerkleProof> MerkleProof::DecodeFrom(Decoder* dec) {
+  MerkleProof proof;
+  TE_ASSIGN_OR_RETURN(proof.leaf_index, dec->GetU32());
+  TE_ASSIGN_OR_RETURN(uint32_t bucket_size, dec->GetCount());
+  proof.bucket.reserve(bucket_size);
+  for (uint32_t i = 0; i < bucket_size; ++i) {
+    BucketEntry e;
+    TE_ASSIGN_OR_RETURN(e.key, dec->GetString());
+    TE_ASSIGN_OR_RETURN(Bytes vd, dec->GetRaw(32));
+    std::copy(vd.begin(), vd.end(), e.value_digest.bytes.begin());
+    TE_ASSIGN_OR_RETURN(e.version, dec->GetI64());
+    proof.bucket.push_back(std::move(e));
+  }
+  TE_ASSIGN_OR_RETURN(uint32_t sibling_count, dec->GetCount());
+  proof.siblings.reserve(sibling_count);
+  for (uint32_t i = 0; i < sibling_count; ++i) {
+    TE_ASSIGN_OR_RETURN(Bytes raw, dec->GetRaw(32));
+    crypto::Digest d;
+    std::copy(raw.begin(), raw.end(), d.bytes.begin());
+    proof.siblings.push_back(d);
+  }
+  return proof;
+}
+
+}  // namespace transedge::merkle

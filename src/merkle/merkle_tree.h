@@ -1,0 +1,152 @@
+#ifndef TRANSEDGE_MERKLE_MERKLE_TREE_H_
+#define TRANSEDGE_MERKLE_MERKLE_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/sha256.h"
+
+namespace transedge::merkle {
+
+/// One (key, value-digest, version) record inside a leaf bucket.
+///
+/// Values are stored by digest: the prover ships the actual value next to
+/// the proof and the verifier hashes it, so the tree stays compact while
+/// responses remain fully authenticated.
+struct BucketEntry {
+  std::string key;
+  crypto::Digest value_digest;
+  int64_t version = -1;
+
+  bool operator==(const BucketEntry& other) const {
+    return key == other.key && value_digest == other.value_digest &&
+           version == other.version;
+  }
+};
+
+/// An audit path from a leaf bucket to the root.
+///
+/// The proof carries the *entire* bucket (buckets hold the few keys whose
+/// hash prefix collides at this depth; with the default geometry that is
+/// ~1 key) plus the sibling digests bottom-up.
+struct MerkleProof {
+  uint32_t leaf_index = 0;
+  std::vector<BucketEntry> bucket;
+  std::vector<crypto::Digest> siblings;  // bottom-up: depth-1 ... 0
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<MerkleProof> DecodeFrom(Decoder* dec);
+
+  /// Recomputes the root this proof commits to.
+  crypto::Digest ComputeRoot() const;
+};
+
+/// Authenticated key-value map: a sparse Merkle tree with path-copying
+/// persistence.
+///
+/// This is the Authenticated Data Structure of §4.1. Each TransEdge
+/// replica maintains one per partition; the root of the tree after
+/// applying a batch's write-sets is certified by the cluster and lets a
+/// *single* node later prove the authenticity of any read response.
+///
+/// Persistence: `Put` copies the O(depth) path it touches, so snapshots
+/// (`SnapshotRoot`) taken after each batch remain valid and proofs can be
+/// generated against any retained historical root — exactly what the
+/// second round of the distributed read-only protocol needs (§4.3.4).
+class MerkleTree {
+ public:
+  /// Handle to an immutable tree version.
+  class Snapshot;
+
+  /// `depth` levels below the root, i.e. 2^depth leaf buckets.
+  explicit MerkleTree(int depth = 20);
+  ~MerkleTree();
+
+  MerkleTree(const MerkleTree&) = delete;
+  MerkleTree& operator=(const MerkleTree&) = delete;
+  MerkleTree(MerkleTree&&) = default;
+  MerkleTree& operator=(MerkleTree&&) = default;
+
+  /// Inserts or overwrites `key` with the digest of `value` at `version`.
+  void Put(const std::string& key, const Bytes& value, int64_t version);
+
+  /// Cheap structural-sharing copy (O(1)): the clone starts at the same
+  /// version and diverges copy-on-write. Used by leaders to compute the
+  /// post-batch root without mutating their applied state.
+  MerkleTree Clone() const;
+
+  /// Reconstructs a tree positioned at `snapshot` (O(1), shares
+  /// structure). Requires a valid snapshot.
+  static MerkleTree FromSnapshot(const Snapshot& snapshot);
+
+  /// Current root digest.
+  crypto::Digest RootDigest() const;
+
+  /// Immutable snapshot of the current version (cheap: shares structure).
+  Snapshot GetSnapshot() const;
+
+  /// Builds a proof for `key` against the current version. NotFound if
+  /// the key was never written.
+  Result<MerkleProof> Prove(const std::string& key) const;
+
+  /// Builds a proof for `key` against `snapshot`.
+  static Result<MerkleProof> ProveAt(const Snapshot& snapshot,
+                                     const std::string& key);
+
+  /// Checks that `proof` authenticates (`key`, `value`, `version`) under
+  /// `root`. VerificationFailed on any mismatch.
+  static Status VerifyProof(const MerkleProof& proof, const std::string& key,
+                            const Bytes& value, int64_t version,
+                            const crypto::Digest& root);
+
+  /// Checks that `proof` authenticates the *absence* of `key` under
+  /// `root` (the authenticated leaf bucket does not contain it).
+  static Status VerifyAbsence(const MerkleProof& proof,
+                              const std::string& key,
+                              const crypto::Digest& root);
+
+  /// Leaf index for `key` at depth `depth` (exposed for tests).
+  static uint32_t LeafIndexFor(const std::string& key, int depth);
+
+  int depth() const { return depth_; }
+
+ private:
+  struct Node;
+  using NodeRef = std::shared_ptr<const Node>;
+
+  static NodeRef PutRec(const NodeRef& node, int level, int depth,
+                        uint32_t leaf_index, const BucketEntry& entry,
+                        const std::vector<crypto::Digest>& empty);
+  static crypto::Digest DigestOf(const NodeRef& node, int level,
+                                 const std::vector<crypto::Digest>& empty);
+
+  int depth_;
+  NodeRef root_;
+  std::shared_ptr<const std::vector<crypto::Digest>> empty_digests_;
+};
+
+/// An immutable version of the tree. Copyable; keeps the version alive.
+class MerkleTree::Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Root digest of this version (zero digest for a null snapshot).
+  crypto::Digest RootDigest() const;
+
+  bool valid() const { return empty_digests_ != nullptr; }
+
+ private:
+  friend class MerkleTree;
+
+  int depth_ = 0;
+  NodeRef root_;
+  std::shared_ptr<const std::vector<crypto::Digest>> empty_digests_;
+};
+
+}  // namespace transedge::merkle
+
+#endif  // TRANSEDGE_MERKLE_MERKLE_TREE_H_

@@ -1,0 +1,14 @@
+#include "sim/environment.h"
+
+namespace transedge::sim {
+
+Environment::Environment(const EnvironmentOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      network_(&queue_,
+               LatencyModel(options.intra_site_latency,
+                            options.inter_site_latency,
+                            options.latency_jitter),
+               options.seed ^ 0x6e657477ULL /* "netw" */) {}
+
+}  // namespace transedge::sim

@@ -1,0 +1,68 @@
+#ifndef TRANSEDGE_SIM_ENVIRONMENT_H_
+#define TRANSEDGE_SIM_ENVIRONMENT_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/time.h"
+
+namespace transedge::sim {
+
+/// Configuration of the simulated world.
+struct EnvironmentOptions {
+  /// Master seed; everything stochastic derives from it.
+  uint64_t seed = 1;
+
+  /// One-way latency between replicas in the same cluster/site.
+  Time intra_site_latency = Micros(300);
+
+  /// One-way latency between different sites (clusters, clients).
+  /// Several experiments sweep this (Figures 8, 12, 13).
+  Time inter_site_latency = Millis(10);
+
+  /// Uniform jitter added on top of every link sample.
+  Time latency_jitter = Micros(100);
+};
+
+/// Owns the event queue and network and hands out scheduling primitives.
+/// One Environment = one deterministic simulated run.
+class Environment {
+ public:
+  explicit Environment(const EnvironmentOptions& options);
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  Time now() const { return queue_.now(); }
+
+  /// Schedules `fn` after `delay`.
+  void Schedule(Time delay, std::function<void()> fn) {
+    queue_.ScheduleAt(queue_.now() + delay, std::move(fn));
+  }
+  void ScheduleAt(Time when, std::function<void()> fn) {
+    queue_.ScheduleAt(when, std::move(fn));
+  }
+
+  /// Runs the simulation up to `deadline` (inclusive).
+  void RunUntil(Time deadline) { queue_.RunUntil(deadline); }
+
+  /// Runs until no events remain.
+  void RunUntilIdle() { queue_.RunUntilIdle(); }
+
+  EventQueue& queue() { return queue_; }
+  Network& network() { return network_; }
+  Rng& rng() { return rng_; }
+  const EnvironmentOptions& options() const { return options_; }
+
+ private:
+  EnvironmentOptions options_;
+  EventQueue queue_;
+  Rng rng_;
+  Network network_;
+};
+
+}  // namespace transedge::sim
+
+#endif  // TRANSEDGE_SIM_ENVIRONMENT_H_

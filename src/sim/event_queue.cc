@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace transedge::sim {
+
+void EventQueue::ScheduleAt(Time when, std::function<void()> fn) {
+  assert(when >= now_);
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the function object (events are small).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.when;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+uint64_t EventQueue::RunUntil(Time deadline) {
+  uint64_t count = 0;
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    RunNext();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+uint64_t EventQueue::RunUntilIdle(uint64_t max_events) {
+  uint64_t count = 0;
+  while (count < max_events && RunNext()) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace transedge::sim

@@ -1,0 +1,65 @@
+#ifndef TRANSEDGE_SIM_EVENT_QUEUE_H_
+#define TRANSEDGE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace transedge::sim {
+
+/// Deterministic future-event list.
+///
+/// Events fire in (time, insertion-sequence) order, so two events at the
+/// same instant run in the order they were scheduled — no dependence on
+/// container iteration order, which keeps whole-system runs reproducible.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void ScheduleAt(Time when, std::function<void()> fn);
+
+  /// Runs the next event, advancing the clock. False when empty.
+  bool RunNext();
+
+  /// Runs events until the clock would pass `deadline` or the queue
+  /// drains. Returns the number of events executed.
+  uint64_t RunUntil(Time deadline);
+
+  /// Drains the queue completely (bounded by `max_events` as a runaway
+  /// guard). Returns the number of events executed.
+  uint64_t RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  Time now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+};
+
+}  // namespace transedge::sim
+
+#endif  // TRANSEDGE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,79 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace transedge::sim {
+
+namespace {
+uint64_t SitePairKey(SiteId a, SiteId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+void LatencyModel::SetSitePairLatency(SiteId a, SiteId b, Time latency) {
+  overrides_[SitePairKey(a, b)] = latency;
+}
+
+Time LatencyModel::Sample(SiteId from, SiteId to, Rng* rng) const {
+  Time base;
+  auto it = overrides_.find(SitePairKey(from, to));
+  if (it != overrides_.end()) {
+    base = it->second;
+  } else {
+    base = (from == to) ? intra_site_ : inter_site_;
+  }
+  Time jitter = jitter_ > 0 ? static_cast<Time>(rng->NextBounded(
+                                  static_cast<uint64_t>(jitter_) + 1))
+                            : 0;
+  return base + jitter;
+}
+
+Network::Network(EventQueue* queue, const LatencyModel& latency, uint64_t seed)
+    : queue_(queue), latency_(latency), rng_(seed) {}
+
+void Network::Register(ActorId id, SiteId site, Actor* actor) {
+  actors_[id] = Registration{site, actor};
+}
+
+SiteId Network::site_of(ActorId id) const {
+  auto it = actors_.find(id);
+  assert(it != actors_.end());
+  return it->second.site;
+}
+
+void Network::Send(ActorId from, ActorId to, MessagePtr msg) {
+  SendAt(queue_->now(), from, to, std::move(msg));
+}
+
+void Network::SendAt(Time depart_at, ActorId from, ActorId to,
+                     MessagePtr msg) {
+  auto from_it = actors_.find(from);
+  auto to_it = actors_.find(to);
+  assert(from_it != actors_.end());
+  if (to_it == actors_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+  auto dfrom = disconnected_.find(from);
+  auto dto = disconnected_.find(to);
+  if ((dfrom != disconnected_.end() && dfrom->second) ||
+      (dto != disconnected_.end() && dto->second)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (filter_ && !filter_(from, to, msg)) {
+    ++messages_dropped_;
+    return;
+  }
+  Time latency =
+      latency_.Sample(from_it->second.site, to_it->second.site, &rng_);
+  Actor* target = to_it->second.actor;
+  ++messages_sent_;
+  queue_->ScheduleAt(depart_at + latency,
+                     [target, from, msg = std::move(msg)]() {
+                       target->OnMessage(from, msg);
+                     });
+}
+
+}  // namespace transedge::sim

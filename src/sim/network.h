@@ -1,0 +1,103 @@
+#ifndef TRANSEDGE_SIM_NETWORK_H_
+#define TRANSEDGE_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/actor.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace transedge::sim {
+
+/// Identifier of a site (a cluster's location, or a client's location).
+using SiteId = uint32_t;
+
+/// Pairwise link-latency model.
+///
+/// Latency between two actors = base latency of their site pair + jitter.
+/// This reproduces the paper's topology: replicas of one cluster are
+/// co-located (sub-millisecond links) while clusters are separated by a
+/// configurable wide-area latency that several experiments sweep
+/// (Figures 8, 12, 13).
+class LatencyModel {
+ public:
+  LatencyModel(Time intra_site, Time inter_site, Time jitter)
+      : intra_site_(intra_site), inter_site_(inter_site), jitter_(jitter) {}
+
+  /// Overrides the latency between one specific site pair (symmetric).
+  void SetSitePairLatency(SiteId a, SiteId b, Time latency);
+
+  /// Sampled one-way latency between two sites.
+  Time Sample(SiteId from, SiteId to, Rng* rng) const;
+
+  Time intra_site() const { return intra_site_; }
+  Time inter_site() const { return inter_site_; }
+
+ private:
+  Time intra_site_;
+  Time inter_site_;
+  Time jitter_;
+  std::unordered_map<uint64_t, Time> overrides_;
+};
+
+/// The simulated message fabric.
+///
+/// Owns the actor registry and delivers messages through the event queue
+/// with sampled latencies. Supports fault injection: per-link drop
+/// filters and full partitions, used by the byzantine and liveness tests.
+class Network {
+ public:
+  Network(EventQueue* queue, const LatencyModel& latency, uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers `actor` under `id` at site `site`. Actors are borrowed,
+  /// not owned; they must outlive the network.
+  void Register(ActorId id, SiteId site, Actor* actor);
+
+  /// Sends `msg` from `from` to `to`, delivered after sampled latency.
+  void Send(ActorId from, ActorId to, MessagePtr msg);
+
+  /// Sends with departure deferred until `depart_at` (models a busy CPU
+  /// finishing serialization before the packet leaves).
+  void SendAt(Time depart_at, ActorId from, ActorId to, MessagePtr msg);
+
+  /// Installs a predicate consulted for every send; returning false drops
+  /// the message silently. Pass nullptr to clear.
+  using LinkFilter = std::function<bool(ActorId from, ActorId to,
+                                        const MessagePtr& msg)>;
+  void SetLinkFilter(LinkFilter filter) { filter_ = std::move(filter); }
+
+  /// Disconnects `id` entirely (both directions) — crash-stop simulation.
+  void Disconnect(ActorId id) { disconnected_[id] = true; }
+  void Reconnect(ActorId id) { disconnected_[id] = false; }
+
+  SiteId site_of(ActorId id) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  struct Registration {
+    SiteId site = 0;
+    Actor* actor = nullptr;
+  };
+
+  EventQueue* queue_;
+  LatencyModel latency_;
+  Rng rng_;
+  std::unordered_map<ActorId, Registration> actors_;
+  std::unordered_map<ActorId, bool> disconnected_;
+  LinkFilter filter_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace transedge::sim
+
+#endif  // TRANSEDGE_SIM_NETWORK_H_

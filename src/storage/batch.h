@@ -1,0 +1,120 @@
+#ifndef TRANSEDGE_STORAGE_BATCH_H_
+#define TRANSEDGE_STORAGE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/cd_vector.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "txn/types.h"
+
+namespace transedge::storage {
+
+/// What one participant reported in its 2PC `prepared` message for a
+/// distributed transaction: its vote, the batch its prepare record landed
+/// in, and — crucially for Algorithm 1 — the CD vector of that batch,
+/// which carries the participant's direct and transitive dependencies
+/// (§4.3.3(c)).
+struct PreparedInfo {
+  PartitionId partition = 0;
+  BatchId prepared_in_batch = kNoBatch;
+  bool vote = false;
+  core::CdVector cd_vector;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<PreparedInfo> DecodeFrom(Decoder* dec);
+  bool operator==(const PreparedInfo&) const = default;
+};
+
+/// A commit record in the committed segment: the coordinator's decision
+/// for a distributed transaction together with the collected prepared
+/// messages (§3.3.4).
+struct CommitRecord {
+  TxnId txn_id = 0;
+  bool committed = false;  // false = aborted by the coordinator
+  /// Batch at *this* partition whose prepared segment holds the txn.
+  BatchId prepared_in_batch = kNoBatch;
+  std::vector<PreparedInfo> participant_info;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<CommitRecord> DecodeFrom(Decoder* dec);
+  bool operator==(const CommitRecord&) const = default;
+};
+
+/// The read-only segment of a batch (Figure 2, segment 4): everything a
+/// snapshot read-only transaction needs — the CD vector, the LCE, the
+/// Merkle root certifying the post-batch state, and a freshness
+/// timestamp (§4.4.2).
+struct ReadOnlySegment {
+  core::CdVector cd_vector;
+  BatchId lce = kNoBatch;
+  crypto::Digest merkle_root;
+  /// Leader-claimed wall-clock (simulated) microseconds; replicas reject
+  /// batches whose timestamp falls outside the configured window.
+  int64_t timestamp_us = 0;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<ReadOnlySegment> DecodeFrom(Decoder* dec);
+  bool operator==(const ReadOnlySegment&) const = default;
+
+  /// Digest over the serialized segment. Covered by batch certificates
+  /// so that a read-only client can authenticate the CD vector, LCE, and
+  /// timestamp it receives from a single (possibly lying) node.
+  crypto::Digest ComputeDigest() const;
+};
+
+/// One batch of the SMR log (Figure 2): local transactions, newly
+/// prepared distributed transactions, commit records of a ready prepare
+/// group, and the read-only segment.
+struct Batch {
+  PartitionId partition = 0;
+  BatchId id = kNoBatch;
+  std::vector<Transaction> local;
+  std::vector<Transaction> prepared;
+  std::vector<CommitRecord> committed;
+  ReadOnlySegment ro;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<Batch> DecodeFrom(Decoder* dec);
+  bool operator==(const Batch&) const = default;
+
+  /// Canonical digest over the serialized batch; this is what the
+  /// intra-cluster consensus agrees on and what certificates sign.
+  crypto::Digest ComputeDigest() const;
+
+  size_t TotalTransactions() const {
+    return local.size() + prepared.size() + committed.size();
+  }
+};
+
+/// Proof that a cluster certified a batch: f+1 replica signatures over
+/// (partition, batch id, batch digest, merkle root). A single node can
+/// attach this to a read-only response and the client can trust it
+/// without contacting the other replicas (§4.1, §4.2).
+struct BatchCertificate {
+  PartitionId partition = 0;
+  BatchId batch_id = kNoBatch;
+  crypto::Digest batch_digest;
+  crypto::Digest merkle_root;
+  /// Digest of the batch's read-only segment (CD vector, LCE, timestamp).
+  crypto::Digest ro_digest;
+  crypto::SignatureSet signatures;
+
+  /// The exact bytes each replica signs.
+  Bytes SignedPayload() const;
+
+  /// OK iff at least `required` valid distinct member signatures cover
+  /// the payload.
+  Status Verify(const crypto::Verifier& verifier, size_t required,
+                const std::vector<crypto::NodeId>& member_ids) const;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<BatchCertificate> DecodeFrom(Decoder* dec);
+};
+
+}  // namespace transedge::storage
+
+#endif  // TRANSEDGE_STORAGE_BATCH_H_

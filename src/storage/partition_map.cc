@@ -1,0 +1,46 @@
+#include "storage/partition_map.h"
+
+#include <algorithm>
+#include <set>
+
+namespace transedge::storage {
+
+PartitionId PartitionMap::OwnerOf(const Key& key) const {
+  crypto::Digest d = crypto::Sha256::Hash(key);
+  // Use the last 4 bytes so partition choice is independent from the
+  // Merkle leaf index (which uses the first 4).
+  uint32_t h = (static_cast<uint32_t>(d.bytes[28]) << 24) |
+               (static_cast<uint32_t>(d.bytes[29]) << 16) |
+               (static_cast<uint32_t>(d.bytes[30]) << 8) |
+               static_cast<uint32_t>(d.bytes[31]);
+  return h % num_partitions_;
+}
+
+std::vector<PartitionId> PartitionMap::ParticipantsOf(
+    const std::vector<ReadOp>& read_set,
+    const std::vector<WriteOp>& write_set) const {
+  std::set<PartitionId> parts;
+  for (const ReadOp& r : read_set) parts.insert(OwnerOf(r.key));
+  for (const WriteOp& w : write_set) parts.insert(OwnerOf(w.key));
+  return std::vector<PartitionId>(parts.begin(), parts.end());
+}
+
+std::vector<ReadOp> PartitionMap::ReadsFor(const Transaction& txn,
+                                           PartitionId p) const {
+  std::vector<ReadOp> out;
+  for (const ReadOp& r : txn.read_set) {
+    if (OwnerOf(r.key) == p) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<WriteOp> PartitionMap::WritesFor(const Transaction& txn,
+                                             PartitionId p) const {
+  std::vector<WriteOp> out;
+  for (const WriteOp& w : txn.write_set) {
+    if (OwnerOf(w.key) == p) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace transedge::storage

@@ -1,0 +1,24 @@
+#include "storage/smr_log.h"
+
+namespace transedge::storage {
+
+Status SmrLog::Append(LogEntry entry) {
+  BatchId expected = static_cast<BatchId>(entries_.size());
+  if (entry.batch.id != expected) {
+    return Status::FailedPrecondition(
+        "SMR log append out of order: got batch " +
+        std::to_string(entry.batch.id) + ", expected " +
+        std::to_string(expected));
+  }
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Result<const LogEntry*> SmrLog::Get(BatchId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= entries_.size()) {
+    return Status::NotFound("no batch with id " + std::to_string(id));
+  }
+  return &entries_[static_cast<size_t>(id)];
+}
+
+}  // namespace transedge::storage

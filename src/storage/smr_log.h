@@ -1,0 +1,48 @@
+#ifndef TRANSEDGE_STORAGE_SMR_LOG_H_
+#define TRANSEDGE_STORAGE_SMR_LOG_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "storage/batch.h"
+
+namespace transedge::storage {
+
+/// One decided entry of the replicated log: the batch plus the f+1
+/// signature certificate produced by consensus.
+struct LogEntry {
+  Batch batch;
+  BatchCertificate certificate;
+};
+
+/// The per-partition state-machine-replication log (§3.1): an append-only
+/// sequence of certified batches, written one-by-one by the leader.
+class SmrLog {
+ public:
+  SmrLog() = default;
+
+  /// Appends the next batch. Fails unless `entry.batch.id` is exactly
+  /// the next index (batches are written one-by-one, §3.1).
+  Status Append(LogEntry entry);
+
+  /// The batch with id `id`.
+  Result<const LogEntry*> Get(BatchId id) const;
+
+  /// Id of the most recently written batch; kNoBatch when empty.
+  BatchId LastBatchId() const {
+    return entries_.empty() ? kNoBatch
+                            : static_cast<BatchId>(entries_.size()) - 1;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const LogEntry& back() const { return entries_.back(); }
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace transedge::storage
+
+#endif  // TRANSEDGE_STORAGE_SMR_LOG_H_

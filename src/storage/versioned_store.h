@@ -1,0 +1,63 @@
+#ifndef TRANSEDGE_STORAGE_VERSIONED_STORE_H_
+#define TRANSEDGE_STORAGE_VERSIONED_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/types.h"
+
+namespace transedge::storage {
+
+/// A value together with the batch id (version) at which it was written.
+struct VersionedValue {
+  Value value;
+  BatchId version = kNoBatch;
+
+  bool operator==(const VersionedValue&) const = default;
+};
+
+/// Multi-version key-value store backing one partition replica.
+///
+/// Every write is tagged with the id of the batch that applied it; the
+/// version history is retained so that the second round of the
+/// distributed read-only protocol can serve "the state as of batch i"
+/// (§4.3.4), and so OCC validation can compare observed versions against
+/// the latest committed ones (Definition 3.1, rule 1).
+class VersionedStore {
+ public:
+  VersionedStore() = default;
+
+  /// Writes `value` at `version`. Versions for one key must be applied
+  /// in non-decreasing order (batches are applied in log order).
+  void Put(const Key& key, Value value, BatchId version);
+
+  /// Latest version of `key`.
+  Result<VersionedValue> Get(const Key& key) const;
+
+  /// Latest version of `key` with version <= `as_of`. NotFound when the
+  /// key did not exist at that point.
+  Result<VersionedValue> GetAsOf(const Key& key, BatchId as_of) const;
+
+  /// Version of the latest write to `key`; kNoBatch when absent.
+  BatchId LatestVersion(const Key& key) const;
+
+  /// Drops versions strictly older than the latest one with
+  /// version <= `horizon`, bounding history growth. Returns the number
+  /// of versions dropped.
+  size_t TruncateHistory(BatchId horizon);
+
+  size_t key_count() const { return chains_.size(); }
+  size_t total_versions() const { return total_versions_; }
+
+ private:
+  /// Sorted by version ascending.
+  using Chain = std::vector<VersionedValue>;
+  std::map<Key, Chain> chains_;
+  size_t total_versions_ = 0;
+};
+
+}  // namespace transedge::storage
+
+#endif  // TRANSEDGE_STORAGE_VERSIONED_STORE_H_

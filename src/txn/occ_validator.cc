@@ -1,0 +1,41 @@
+#include "txn/occ_validator.h"
+
+namespace transedge::txn {
+
+Status OccValidator::CheckAgainstStore(const Transaction& txn) const {
+  for (const ReadOp& r : txn.read_set) {
+    BatchId latest = store_->LatestVersion(r.key);
+    if (latest != r.version) {
+      return Status::Conflict("read of key '" + r.key + "' at version " +
+                              std::to_string(r.version) +
+                              " overwritten; latest is " +
+                              std::to_string(latest));
+    }
+  }
+  return Status::OK();
+}
+
+Status OccValidator::CheckAgainstTransactions(
+    const Transaction& txn,
+    const std::vector<const Transaction*>& others) const {
+  for (const Transaction* other : others) {
+    if (other->id == txn.id) continue;
+    if (Conflicts(txn, *other)) {
+      return Status::Conflict("conflicts with transaction " +
+                              std::to_string(other->id));
+    }
+  }
+  return Status::OK();
+}
+
+Status OccValidator::Validate(
+    const Transaction& txn,
+    const std::vector<const Transaction*>& in_progress,
+    const std::vector<const Transaction*>& pending_prepared) const {
+  TE_RETURN_IF_ERROR(CheckAgainstStore(txn));
+  TE_RETURN_IF_ERROR(CheckAgainstTransactions(txn, in_progress));
+  TE_RETURN_IF_ERROR(CheckAgainstTransactions(txn, pending_prepared));
+  return Status::OK();
+}
+
+}  // namespace transedge::txn

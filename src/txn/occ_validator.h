@@ -1,0 +1,50 @@
+#ifndef TRANSEDGE_TXN_OCC_VALIDATOR_H_
+#define TRANSEDGE_TXN_OCC_VALIDATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/versioned_store.h"
+#include "txn/types.h"
+
+namespace transedge::txn {
+
+/// Implements the conflict detection rules of Definition 3.1.
+///
+/// A transaction may enter the in-progress batch only if it does not
+/// conflict with (1) committed state in previous batches, (2) the
+/// transactions already in the in-progress batch, and (3) the pending
+/// prepared (not yet committed) distributed transactions. The leader runs
+/// these checks when admitting a transaction, and — because the leader
+/// may be byzantine — every replica re-runs them before accepting a
+/// proposed batch (§3.2).
+class OccValidator {
+ public:
+  /// `store` is the replica's committed state; borrowed, must outlive
+  /// the validator.
+  explicit OccValidator(const storage::VersionedStore* store)
+      : store_(store) {}
+
+  /// Rule 1: every read in `txn`'s read set (restricted by the caller to
+  /// keys of this partition) still has the observed version as its latest
+  /// committed version.
+  Status CheckAgainstStore(const Transaction& txn) const;
+
+  /// Rules 2 and 3: `txn` conflicts with none of `others`.
+  Status CheckAgainstTransactions(
+      const Transaction& txn,
+      const std::vector<const Transaction*>& others) const;
+
+  /// All three rules in one call.
+  Status Validate(const Transaction& txn,
+                  const std::vector<const Transaction*>& in_progress,
+                  const std::vector<const Transaction*>& pending_prepared)
+      const;
+
+ private:
+  const storage::VersionedStore* store_;
+};
+
+}  // namespace transedge::txn
+
+#endif  // TRANSEDGE_TXN_OCC_VALIDATOR_H_

@@ -1,0 +1,118 @@
+#include "txn/prepared_batches.h"
+
+#include <cassert>
+
+namespace transedge::txn {
+
+bool PrepareGroup::Ready() const {
+  for (const PendingTxn& t : txns) {
+    if (t.state == PendingTxn::State::kWaiting) return false;
+  }
+  return true;
+}
+
+void PreparedBatches::AddGroup(BatchId batch_id, std::vector<PendingTxn> txns) {
+  if (txns.empty()) return;
+  assert(groups_.empty() || groups_.back().prepared_in_batch < batch_id);
+  PrepareGroup group;
+  group.prepared_in_batch = batch_id;
+  group.txns = std::move(txns);
+  groups_.push_back(std::move(group));
+}
+
+Status PreparedBatches::RecordDecision(
+    TxnId txn_id, bool committed,
+    std::vector<storage::PreparedInfo> participant_info) {
+  for (PrepareGroup& group : groups_) {
+    for (PendingTxn& pending : group.txns) {
+      if (pending.txn.id != txn_id) continue;
+      if (pending.state != PendingTxn::State::kWaiting) {
+        return Status::AlreadyExists("decision already recorded for txn " +
+                                     std::to_string(txn_id));
+      }
+      pending.state = committed ? PendingTxn::State::kCommitted
+                                : PendingTxn::State::kAborted;
+      pending.participant_info = std::move(participant_info);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("txn not pending: " + std::to_string(txn_id));
+}
+
+bool PreparedBatches::OldestReady() const {
+  return !groups_.empty() && groups_.front().Ready();
+}
+
+PrepareGroup PreparedBatches::PopOldestReady() {
+  assert(OldestReady());
+  return PopOldest();
+}
+
+PrepareGroup PreparedBatches::PopOldest() {
+  assert(!groups_.empty());
+  PrepareGroup group = std::move(groups_.front());
+  groups_.pop_front();
+  return group;
+}
+
+std::vector<const PrepareGroup*> PreparedBatches::ReadyPrefix() const {
+  std::vector<const PrepareGroup*> out;
+  for (const PrepareGroup& group : groups_) {
+    if (!group.Ready()) break;
+    out.push_back(&group);
+  }
+  return out;
+}
+
+void PreparedBatches::ForEachPending(
+    const std::function<void(const Transaction&)>& fn) const {
+  for (const PrepareGroup& group : groups_) {
+    for (const PendingTxn& pending : group.txns) {
+      if (pending.state == PendingTxn::State::kWaiting) {
+        fn(pending.txn);
+      }
+    }
+  }
+}
+
+std::vector<const Transaction*> PreparedBatches::PendingTransactions() const {
+  std::vector<const Transaction*> out;
+  for (const PrepareGroup& group : groups_) {
+    for (const PendingTxn& pending : group.txns) {
+      if (pending.state == PendingTxn::State::kWaiting) {
+        out.push_back(&pending.txn);
+      }
+    }
+  }
+  return out;
+}
+
+const Transaction* PreparedBatches::FindTxn(TxnId txn_id) const {
+  for (const PrepareGroup& group : groups_) {
+    for (const PendingTxn& pending : group.txns) {
+      if (pending.txn.id == txn_id) return &pending.txn;
+    }
+  }
+  return nullptr;
+}
+
+bool PreparedBatches::Contains(TxnId txn_id) const {
+  for (const PrepareGroup& group : groups_) {
+    for (const PendingTxn& pending : group.txns) {
+      if (pending.txn.id == txn_id) return true;
+    }
+  }
+  return false;
+}
+
+size_t PreparedBatches::pending_txn_count() const {
+  size_t count = 0;
+  for (const PrepareGroup& group : groups_) {
+    for (const PendingTxn& pending : group.txns) {
+      if (pending.state == PendingTxn::State::kWaiting) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace transedge::txn

@@ -1,0 +1,99 @@
+#ifndef TRANSEDGE_TXN_PREPARED_BATCHES_H_
+#define TRANSEDGE_TXN_PREPARED_BATCHES_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/batch.h"
+#include "txn/types.h"
+
+namespace transedge::txn {
+
+/// One distributed transaction waiting for its 2PC outcome.
+struct PendingTxn {
+  enum class State { kWaiting, kCommitted, kAborted };
+
+  Transaction txn;
+  State state = State::kWaiting;
+  /// Prepared messages collected from all participants; carried into the
+  /// commit record for CD-vector derivation (Algorithm 1).
+  std::vector<storage::PreparedInfo> participant_info;
+};
+
+/// A prepare group (§4.3.3(a)): all distributed transactions whose
+/// prepare records landed in the same batch. The ordering constraint
+/// (Definition 4.1) forces groups to commit in prepare-batch order, which
+/// is what allows a single number per partition in the CD vector.
+struct PrepareGroup {
+  BatchId prepared_in_batch = kNoBatch;
+  std::vector<PendingTxn> txns;
+
+  /// True when every transaction has a decision.
+  bool Ready() const;
+};
+
+/// The "prepared batches" data structure of Figure 2: the leader's (and
+/// every replica's) view of which prepare groups are still waiting on
+/// 2PC outcomes.
+class PreparedBatches {
+ public:
+  PreparedBatches() = default;
+
+  /// Registers the prepare group of freshly written batch `batch_id`.
+  /// Empty groups are not stored. Groups must be added in batch order.
+  void AddGroup(BatchId batch_id, std::vector<PendingTxn> txns);
+
+  /// Records the 2PC outcome of `txn_id`. NotFound if the transaction is
+  /// not pending (e.g. a duplicate decision).
+  Status RecordDecision(TxnId txn_id, bool committed,
+                        std::vector<storage::PreparedInfo> participant_info);
+
+  /// Whether the *oldest* group is fully decided — only then may it be
+  /// moved to a committed segment (Definition 4.1).
+  bool OldestReady() const;
+
+  /// Removes and returns the oldest group; requires OldestReady().
+  PrepareGroup PopOldestReady();
+
+  /// The maximal prefix of groups (oldest first) that are fully decided
+  /// — the groups the next batch's committed segment will carry, in
+  /// Definition 4.1 order. Pointers are invalidated by mutations.
+  std::vector<const PrepareGroup*> ReadyPrefix() const;
+
+  /// Removes and returns the oldest group regardless of decision state.
+  /// Used by replicas applying a certified batch: the batch's committed
+  /// segment *is* the decision. Requires a non-empty structure.
+  PrepareGroup PopOldest();
+
+  /// The oldest group, or nullptr.
+  const PrepareGroup* Oldest() const {
+    return groups_.empty() ? nullptr : &groups_.front();
+  }
+
+  /// Invokes `fn` for every still-undecided transaction (used for
+  /// conflict rule 3 of Definition 3.1).
+  void ForEachPending(
+      const std::function<void(const Transaction&)>& fn) const;
+
+  /// Pointers to every still-undecided transaction.
+  std::vector<const Transaction*> PendingTransactions() const;
+
+  bool Contains(TxnId txn_id) const;
+
+  /// The transaction object for `txn_id` regardless of decision state;
+  /// nullptr when unknown. Used to resolve the write sets of commit
+  /// records while applying a batch.
+  const Transaction* FindTxn(TxnId txn_id) const;
+
+  size_t group_count() const { return groups_.size(); }
+  size_t pending_txn_count() const;
+
+ private:
+  std::deque<PrepareGroup> groups_;
+};
+
+}  // namespace transedge::txn
+
+#endif  // TRANSEDGE_TXN_PREPARED_BATCHES_H_

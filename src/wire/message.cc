@@ -1,0 +1,51 @@
+#include "wire/message.h"
+
+namespace transedge::wire {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kClientRead:
+      return "ClientRead";
+    case MessageType::kClientReadReply:
+      return "ClientReadReply";
+    case MessageType::kCommitRequest:
+      return "CommitRequest";
+    case MessageType::kCommitReply:
+      return "CommitReply";
+    case MessageType::kRoRequest:
+      return "RoRequest";
+    case MessageType::kRoReply:
+      return "RoReply";
+    case MessageType::kRoBatchRequest:
+      return "RoBatchRequest";
+    case MessageType::kPrePrepare:
+      return "PrePrepare";
+    case MessageType::kPrepare:
+      return "Prepare";
+    case MessageType::kCommit:
+      return "Commit";
+    case MessageType::kViewChange:
+      return "ViewChange";
+    case MessageType::kNewView:
+      return "NewView";
+    case MessageType::kCoordPrepare:
+      return "CoordPrepare";
+    case MessageType::kPrepared:
+      return "Prepared";
+    case MessageType::kCommitRecord:
+      return "CommitRecord";
+    case MessageType::kAugustusRoRequest:
+      return "AugustusRoRequest";
+    case MessageType::kAugustusVoteRequest:
+      return "AugustusVoteRequest";
+    case MessageType::kAugustusVoteReply:
+      return "AugustusVoteReply";
+    case MessageType::kAugustusRoReply:
+      return "AugustusRoReply";
+    case MessageType::kAugustusRelease:
+      return "AugustusRelease";
+  }
+  return "Unknown";
+}
+
+}  // namespace transedge::wire

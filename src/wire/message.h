@@ -1,0 +1,255 @@
+#ifndef TRANSEDGE_WIRE_MESSAGE_H_
+#define TRANSEDGE_WIRE_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cd_vector.h"
+#include "crypto/signer.h"
+#include "merkle/merkle_tree.h"
+#include "sim/actor.h"
+#include "storage/batch.h"
+#include "txn/types.h"
+
+namespace transedge::wire {
+
+/// Discriminators for every message that crosses the simulated network.
+enum class MessageType : uint32_t {
+  // Client <-> cluster.
+  kClientRead = 1,
+  kClientReadReply = 2,
+  kCommitRequest = 3,
+  kCommitReply = 4,
+  kRoRequest = 5,
+  kRoReply = 6,
+  kRoBatchRequest = 7,  // Second round of the read-only protocol.
+
+  // Intra-cluster consensus (PBFT-style).
+  kPrePrepare = 20,
+  kPrepare = 21,
+  kCommit = 22,
+  kViewChange = 23,
+  kNewView = 24,
+
+  // Inter-cluster 2PC (leader-to-leader, each step backed by a batch
+  // certificate from the sender's cluster).
+  kCoordPrepare = 40,
+  kPrepared = 41,
+  kCommitRecord = 42,
+
+  // Augustus baseline (locking read-only transactions).
+  kAugustusRoRequest = 60,
+  kAugustusVoteRequest = 61,
+  kAugustusVoteReply = 62,
+  kAugustusRoReply = 63,
+  kAugustusRelease = 64,
+};
+
+/// Human-readable message-type name for logs.
+const char* MessageTypeName(MessageType type);
+
+/// Convenience base carrying the discriminator.
+template <MessageType kType>
+struct TypedMessage : sim::Message {
+  uint32_t type() const override { return static_cast<uint32_t>(kType); }
+  static constexpr MessageType kMessageType = kType;
+};
+
+// ---------------------------------------------------------------------------
+// Client <-> cluster
+// ---------------------------------------------------------------------------
+
+/// Single-key read issued while a client assembles a read-write
+/// transaction (§3.2). Served by any replica from committed state.
+struct ClientReadRequest : TypedMessage<MessageType::kClientRead> {
+  uint64_t request_id = 0;
+  sim::ActorId reply_to = 0;
+  Key key;
+};
+
+struct ClientReadReply : TypedMessage<MessageType::kClientReadReply> {
+  uint64_t request_id = 0;
+  Key key;
+  bool found = false;
+  Value value;
+  /// Version (batch id) the value was read at — becomes the read set's
+  /// observed version for OCC validation.
+  BatchId version = kNoBatch;
+};
+
+/// Commit request carrying the full read and write sets (§3.3.1).
+struct CommitRequest : TypedMessage<MessageType::kCommitRequest> {
+  sim::ActorId reply_to = 0;
+  Transaction txn;
+};
+
+struct CommitReply : TypedMessage<MessageType::kCommitReply> {
+  TxnId txn_id = 0;
+  bool committed = false;
+  std::string reason;
+};
+
+/// One authenticated key result inside a read-only response.
+struct AuthenticatedRead {
+  Key key;
+  bool found = false;
+  Value value;
+  BatchId version = kNoBatch;
+  merkle::MerkleProof proof;
+};
+
+/// Round-1 read-only request: all keys of one accessed partition
+/// (§4.3.4). `commit-rot` in the paper's interface.
+struct RoRequest : TypedMessage<MessageType::kRoRequest> {
+  uint64_t request_id = 0;
+  sim::ActorId reply_to = 0;
+  std::vector<Key> keys;
+};
+
+/// Response from a single node: values + Merkle proofs, the batch
+/// certificate (f+1 signatures over the root), and the read-only segment
+/// metadata the dependency check needs.
+struct RoReply : TypedMessage<MessageType::kRoReply> {
+  uint64_t request_id = 0;
+  PartitionId partition = 0;
+  BatchId batch_id = kNoBatch;
+  std::vector<AuthenticatedRead> entries;
+  storage::BatchCertificate certificate;
+  core::CdVector cd_vector;
+  BatchId lce = kNoBatch;
+  int64_t timestamp_us = 0;
+  /// True when this reply answers a second-round (historical) request.
+  bool second_round = false;
+};
+
+/// Round-2 request: "serve me your state at the earliest batch whose LCE
+/// is >= `min_lce`" — the explicit ask for a missing dependency. The
+/// node parks the request until such a batch exists.
+struct RoBatchRequest : TypedMessage<MessageType::kRoBatchRequest> {
+  uint64_t request_id = 0;
+  sim::ActorId reply_to = 0;
+  std::vector<Key> keys;
+  BatchId min_lce = kNoBatch;
+};
+
+// ---------------------------------------------------------------------------
+// Intra-cluster consensus
+// ---------------------------------------------------------------------------
+
+/// Leader's proposal of the next batch.
+struct PrePrepareMsg : TypedMessage<MessageType::kPrePrepare> {
+  uint64_t view = 0;
+  storage::Batch batch;
+  crypto::Signature leader_signature;  // over the batch digest
+  /// Leader's certificate share (counts as the leader's prepare vote).
+  crypto::Signature leader_cert_share;
+  /// Simulation shortcut (SystemConfig::simulate_shared_merkle): the
+  /// leader's post-batch tree, shared structurally so honest followers
+  /// skip re-hashing identical updates. Invalid when the shortcut is
+  /// disabled.
+  merkle::MerkleTree::Snapshot post_snapshot;
+};
+
+/// Replica vote after re-validating the proposed batch. Carries the
+/// replica's certificate-share signature so the cluster can assemble the
+/// f+1 batch certificate.
+struct PrepareMsg : TypedMessage<MessageType::kPrepare> {
+  uint64_t view = 0;
+  BatchId batch_id = kNoBatch;
+  crypto::Digest batch_digest;
+  crypto::Signature cert_share;  // over BatchCertificate::SignedPayload()
+};
+
+struct CommitMsg : TypedMessage<MessageType::kCommit> {
+  uint64_t view = 0;
+  BatchId batch_id = kNoBatch;
+  crypto::Digest batch_digest;
+};
+
+/// Sent when a replica's progress timer fires without a decision.
+struct ViewChangeMsg : TypedMessage<MessageType::kViewChange> {
+  uint64_t new_view = 0;
+  BatchId last_committed = kNoBatch;
+  crypto::Signature signature;
+};
+
+/// New leader's announcement; re-proposals follow as ordinary
+/// pre-prepares in the new view.
+struct NewViewMsg : TypedMessage<MessageType::kNewView> {
+  uint64_t new_view = 0;
+  std::vector<ViewChangeMsg> proof;  // 2f+1 view-change votes
+};
+
+// ---------------------------------------------------------------------------
+// Inter-cluster 2PC
+// ---------------------------------------------------------------------------
+
+/// Coordinator-prepare (§3.3.2, step 3): the coordinator cluster proved
+/// it prepared `txn` (certificate of the batch holding the prepare
+/// record) and asks the participant to prepare too.
+struct CoordPrepareMsg : TypedMessage<MessageType::kCoordPrepare> {
+  Transaction txn;
+  PartitionId coordinator = 0;
+  storage::BatchCertificate proof;
+};
+
+/// Participant's prepared message (§3.3.3, step 5): its vote, the batch
+/// where its prepare record landed, the piggybacked CD vector of that
+/// batch (§4.3.3(c)), and the batch certificate as proof.
+struct PreparedMsg : TypedMessage<MessageType::kPrepared> {
+  TxnId txn_id = 0;
+  storage::PreparedInfo info;
+  storage::BatchCertificate proof;
+};
+
+/// Coordinator's decision (§3.3.4, step 7), including all collected
+/// prepared messages so participants can derive CD vectors.
+struct CommitRecordMsg : TypedMessage<MessageType::kCommitRecord> {
+  TxnId txn_id = 0;
+  bool commit = false;
+  std::vector<storage::PreparedInfo> participant_info;
+  storage::BatchCertificate proof;
+};
+
+// ---------------------------------------------------------------------------
+// Augustus baseline
+// ---------------------------------------------------------------------------
+
+/// Client -> leader: execute a locking read-only transaction on this
+/// partition's keys (Augustus-style, shared locks + replica voting).
+struct AugustusRoRequest : TypedMessage<MessageType::kAugustusRoRequest> {
+  uint64_t request_id = 0;
+  sim::ActorId reply_to = 0;
+  std::vector<Key> keys;
+};
+
+/// Leader -> replicas: vote on the read snapshot.
+struct AugustusVoteRequest : TypedMessage<MessageType::kAugustusVoteRequest> {
+  uint64_t request_id = 0;
+  std::vector<Key> keys;
+  BatchId snapshot_batch = kNoBatch;
+};
+
+struct AugustusVoteReply : TypedMessage<MessageType::kAugustusVoteReply> {
+  uint64_t request_id = 0;
+  bool vote = true;
+  crypto::Signature signature;
+};
+
+/// Leader -> client: values + 2f+1 votes.
+struct AugustusRoReply : TypedMessage<MessageType::kAugustusRoReply> {
+  uint64_t request_id = 0;
+  PartitionId partition = 0;
+  std::vector<AuthenticatedRead> entries;
+  uint32_t votes = 0;
+};
+
+/// Client -> leader: release the shared locks.
+struct AugustusRelease : TypedMessage<MessageType::kAugustusRelease> {
+  uint64_t request_id = 0;
+};
+
+}  // namespace transedge::wire
+
+#endif  // TRANSEDGE_WIRE_MESSAGE_H_

@@ -1,0 +1,142 @@
+#include "workload/runner.h"
+
+namespace transedge::workload {
+
+ClosedLoopRunner::ClosedLoopRunner(core::System* system, int num_clients,
+                                   PlanFn plan_fn, RoMode ro_mode,
+                                   uint64_t seed, int concurrency)
+    : system_(system),
+      plan_fn_(std::move(plan_fn)),
+      ro_mode_(ro_mode),
+      concurrency_(concurrency) {
+  loops_.reserve(static_cast<size_t>(num_clients));
+  for (int i = 0; i < num_clients; ++i) {
+    ClientLoop loop;
+    loop.client = system_->AddClient();
+    loop.rng = std::make_unique<Rng>(seed + static_cast<uint64_t>(i) * 7919);
+    loops_.push_back(std::move(loop));
+  }
+}
+
+void ClosedLoopRunner::Start(sim::Time warmup_end, sim::Time stop_time) {
+  warmup_end_ = warmup_end;
+  stop_time_ = stop_time;
+  for (ClientLoop& loop : loops_) {
+    ClientLoop* raw = &loop;
+    for (int c = 0; c < concurrency_; ++c) {
+      // Stagger starts over a few milliseconds so the first batch is not
+      // one synchronized burst.
+      sim::Time offset = static_cast<sim::Time>(
+          loop.rng->NextBounded(static_cast<uint64_t>(sim::Millis(5))));
+      system_->env().Schedule(sim::Millis(20) + offset,
+                              [this, raw] { IssueNext(raw); });
+    }
+  }
+}
+
+void ClosedLoopRunner::RunToCompletion(sim::Time drain) {
+  system_->env().RunUntil(stop_time_ + drain);
+}
+
+void ClosedLoopRunner::IssueNext(ClientLoop* loop) {
+  if (system_->env().now() >= stop_time_) return;
+  TxnPlan plan = plan_fn_(loop->rng.get());
+  sim::Time start = system_->env().now();
+
+  switch (plan.kind) {
+    case TxnPlan::Kind::kReadOnly:
+      switch (ro_mode_) {
+        case RoMode::kTransEdge:
+          loop->client->ExecuteReadOnly(
+              plan.read_keys, [this, loop, start](core::RoResult r) {
+                OnRoDone(loop, start, r);
+              });
+          break;
+        case RoMode::kRegular2pc:
+          loop->client->ExecuteReadOnlyAsRegular(
+              plan.read_keys, [this, loop, start](core::RwResult r) {
+                // Count the baseline's read-only txns as RO completions.
+                core::RoResult ro;
+                ro.status = r.committed
+                                ? Status::OK()
+                                : Status::Aborted(r.reason);
+                ro.latency = r.latency;
+                ro.round1_latency = r.latency;
+                OnRoDone(loop, start, ro);
+              });
+          break;
+        case RoMode::kAugustus:
+          loop->client->ExecuteAugustusReadOnly(
+              plan.read_keys, [this, loop, start](core::RoResult r) {
+                OnRoDone(loop, start, r);
+              });
+          break;
+      }
+      break;
+    case TxnPlan::Kind::kReadWrite:
+    case TxnPlan::Kind::kWriteOnly:
+      loop->client->ExecuteReadWrite(
+          plan.read_keys, plan.writes,
+          [this, loop, start](core::RwResult r) { OnRwDone(loop, start, r); });
+      break;
+  }
+}
+
+void ClosedLoopRunner::OnRwDone(ClientLoop* loop, sim::Time start,
+                                const core::RwResult& r) {
+  (void)start;
+  sim::Time now = system_->env().now();
+  if (InMeasureWindow(now)) {
+    if (r.committed) {
+      ++measured_completions_;
+      ++stats_.rw_committed;
+      stats_.rw_latency.Record(r.latency);
+    } else if (r.reason == "client timeout") {
+      ++stats_.timeouts;
+    } else {
+      ++stats_.rw_aborted;
+    }
+  }
+  if (!r.committed) {
+    // Back off after an abort (OCC retry hygiene); otherwise contended
+    // loops spin at network speed.
+    sim::Time backoff = sim::Millis(5) + static_cast<sim::Time>(
+        loop->rng->NextBounded(static_cast<uint64_t>(sim::Millis(10))));
+    system_->env().Schedule(backoff, [this, loop] { IssueNext(loop); });
+    return;
+  }
+  IssueNext(loop);
+}
+
+void ClosedLoopRunner::OnRoDone(ClientLoop* loop, sim::Time start,
+                                const core::RoResult& r) {
+  (void)start;
+  sim::Time now = system_->env().now();
+  if (InMeasureWindow(now)) {
+    if (r.status.ok()) {
+      ++measured_completions_;
+      ++stats_.ro_completed;
+      stats_.ro_latency.Record(r.latency);
+      stats_.ro_round1_latency.Record(r.round1_latency);
+      if (r.rounds > 1) ++stats_.ro_two_round;
+    } else {
+      ++stats_.ro_failures;
+    }
+  }
+  IssueNext(loop);
+}
+
+double ClosedLoopRunner::ThroughputTps() const {
+  sim::Time window = stop_time_ - warmup_end_;
+  if (window <= 0) return 0;
+  return static_cast<double>(measured_completions_) / sim::ToSeconds(window);
+}
+
+double ClosedLoopRunner::AbortRatePct() const {
+  uint64_t attempts = stats_.rw_committed + stats_.rw_aborted;
+  if (attempts == 0) return 0;
+  return 100.0 * static_cast<double>(stats_.rw_aborted) /
+         static_cast<double>(attempts);
+}
+
+}  // namespace transedge::workload

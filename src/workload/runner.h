@@ -1,0 +1,93 @@
+#ifndef TRANSEDGE_WORKLOAD_RUNNER_H_
+#define TRANSEDGE_WORKLOAD_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/system.h"
+#include "workload/generator.h"
+#include "workload/stats.h"
+
+namespace transedge::workload {
+
+/// How read-only plans are executed — TransEdge's snapshot protocol or
+/// one of the two baselines from the paper's evaluation.
+enum class RoMode {
+  kTransEdge,   // §4: commit-free, ≤2 rounds.
+  kRegular2pc,  // 2PC/BFT baseline: RO as a regular transaction (§3.5).
+  kAugustus,    // Locking + replica voting baseline.
+};
+
+/// Aggregate results of one closed-loop run.
+struct RunnerStats {
+  LatencyStats rw_latency;          // Committed read-write transactions.
+  LatencyStats ro_latency;          // Completed read-only transactions.
+  LatencyStats ro_round1_latency;   // Round-1 portion of RO latency.
+  uint64_t rw_committed = 0;
+  uint64_t rw_aborted = 0;
+  uint64_t ro_completed = 0;
+  uint64_t ro_two_round = 0;
+  uint64_t ro_failures = 0;
+  uint64_t timeouts = 0;
+
+  uint64_t total_completed() const { return rw_committed + rw_aborted +
+                                            ro_completed + ro_failures; }
+};
+
+/// Drives a System with `num_clients` closed-loop clients: each client
+/// executes one plan at a time and immediately issues the next when it
+/// completes, until `stop_time`. Samples completing before `warmup_end`
+/// are discarded. Throughput is (measured completions) / window.
+class ClosedLoopRunner {
+ public:
+  using PlanFn = std::function<TxnPlan(Rng*)>;
+
+  /// `concurrency` = independent closed loops per client actor (an
+  /// emulation of the paper's multi-threaded clients; total in-flight
+  /// transactions = num_clients * concurrency).
+  ClosedLoopRunner(core::System* system, int num_clients, PlanFn plan_fn,
+                   RoMode ro_mode, uint64_t seed, int concurrency = 1);
+
+  /// Starts all client loops. Call before running the environment.
+  void Start(sim::Time warmup_end, sim::Time stop_time);
+
+  /// Runs the environment until stop_time plus a drain margin.
+  void RunToCompletion(sim::Time drain = sim::Seconds(3));
+
+  const RunnerStats& stats() const { return stats_; }
+
+  /// Successfully completed (committed / verified) operations per second
+  /// of simulated time.
+  double ThroughputTps() const;
+
+  /// Fraction of read-write attempts that aborted, in percent.
+  double AbortRatePct() const;
+
+ private:
+  struct ClientLoop {
+    core::Client* client = nullptr;
+    std::unique_ptr<Rng> rng;
+  };
+
+  void IssueNext(ClientLoop* loop);
+  void OnRwDone(ClientLoop* loop, sim::Time start, const core::RwResult& r);
+  void OnRoDone(ClientLoop* loop, sim::Time start, const core::RoResult& r);
+  bool InMeasureWindow(sim::Time now) const {
+    return now >= warmup_end_ && now <= stop_time_;
+  }
+
+  core::System* system_;
+  PlanFn plan_fn_;
+  RoMode ro_mode_;
+  int concurrency_;
+  std::vector<ClientLoop> loops_;
+  sim::Time warmup_end_ = 0;
+  sim::Time stop_time_ = 0;
+  uint64_t measured_completions_ = 0;
+  RunnerStats stats_;
+};
+
+}  // namespace transedge::workload
+
+#endif  // TRANSEDGE_WORKLOAD_RUNNER_H_

@@ -1,0 +1,39 @@
+#include "workload/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace transedge::workload {
+
+void LatencyStats::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double LatencyStats::MeanMs() const {
+  if (samples_.empty()) return 0;
+  double total = 0;
+  for (sim::Time t : samples_) total += static_cast<double>(t);
+  return total / static_cast<double>(samples_.size()) / 1000.0;
+}
+
+double LatencyStats::PercentileMs(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - std::floor(rank);
+  double value = static_cast<double>(samples_[lo]) * (1 - frac) +
+                 static_cast<double>(samples_[hi]) * frac;
+  return value / 1000.0;
+}
+
+double LatencyStats::MaxMs() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return static_cast<double>(samples_.back()) / 1000.0;
+}
+
+}  // namespace transedge::workload

@@ -1,0 +1,413 @@
+// Read-only protocol tests: Algorithm 2 (dependency verification), the
+// targeted second round, Merkle-authenticated responses, parked requests,
+// and the two-round guarantee (Theorem 4.6).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/system.h"
+#include "workload/generator.h"
+
+namespace transedge {
+namespace {
+
+using core::Client;
+using core::ComputeUnsatisfiedDependencies;
+using core::RoPartitionView;
+using core::RoResult;
+using core::RwResult;
+using core::System;
+using core::SystemConfig;
+
+// --- Algorithm 2 at the unit level -------------------------------------------
+
+core::CdVector Cd(std::vector<BatchId> entries) {
+  core::CdVector v(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    v.Set(static_cast<PartitionId>(i), entries[i]);
+  }
+  return v;
+}
+
+TEST(Algorithm2Test, ConsistentSnapshotHasNoMissingDeps) {
+  std::map<PartitionId, RoPartitionView> views;
+  views[0] = {Cd({4, 2, kNoBatch}), 3};
+  views[1] = {Cd({kNoBatch, 5, kNoBatch}), 2};
+  views[2] = {Cd({kNoBatch, kNoBatch, 9}), 1};
+  // 0 depends on 1 up to batch 2; 1's LCE is 2 -> satisfied.
+  EXPECT_TRUE(ComputeUnsatisfiedDependencies(views).empty());
+}
+
+TEST(Algorithm2Test, DetectsTheFigure1Inconsistency) {
+  // The paper's motivating example: t_r read X at batch 4 (which depends
+  // on Y's prepare batch 4) but read Y at a state whose LCE is only 2.
+  std::map<PartitionId, RoPartitionView> views;
+  views[0] = {Cd({4, 4}), 2};       // X: CD says "Y up to 4".
+  views[1] = {Cd({kNoBatch, 2}), 2};  // Y: LCE 2 < 4 -> unsatisfied.
+  auto needed = ComputeUnsatisfiedDependencies(views);
+  ASSERT_EQ(needed.size(), 1u);
+  EXPECT_EQ(needed.begin()->first, 1u);
+  EXPECT_EQ(needed.begin()->second, 4);
+}
+
+TEST(Algorithm2Test, TakesMaxOverDemandingPartitions) {
+  std::map<PartitionId, RoPartitionView> views;
+  views[0] = {Cd({0, 7, kNoBatch}), 10};
+  views[1] = {Cd({kNoBatch, 1, kNoBatch}), 2};
+  views[2] = {Cd({kNoBatch, 9, 0}), 10};
+  auto needed = ComputeUnsatisfiedDependencies(views);
+  ASSERT_EQ(needed.size(), 1u);
+  EXPECT_EQ(needed[1], 9);  // max(7, 9)
+}
+
+TEST(Algorithm2Test, EqualLceSatisfiesDependency) {
+  std::map<PartitionId, RoPartitionView> views;
+  views[0] = {Cd({0, 6}), 0};
+  views[1] = {Cd({kNoBatch, 6}), 6};  // LCE == dep -> satisfied.
+  EXPECT_TRUE(ComputeUnsatisfiedDependencies(views).empty());
+}
+
+TEST(Algorithm2Test, NoDependencyEntriesMeanNoWork) {
+  std::map<PartitionId, RoPartitionView> views;
+  views[0] = {Cd({3, kNoBatch}), kNoBatch};
+  views[1] = {Cd({kNoBatch, 5}), kNoBatch};
+  EXPECT_TRUE(ComputeUnsatisfiedDependencies(views).empty());
+}
+
+// --- End-to-end ----------------------------------------------------------------
+
+struct Fixture {
+  SystemConfig config;
+  sim::EnvironmentOptions env_opts;
+  std::unique_ptr<System> system;
+  std::vector<std::pair<Key, Value>> data;
+  storage::PartitionMap pmap;
+
+  explicit Fixture(uint64_t seed = 21,
+                   sim::Time cross_latency = sim::Millis(1),
+                   bool strict_ro = false)
+      : pmap(3) {
+    config.num_partitions = 3;
+    config.f = 1;
+    config.batch_interval = sim::Millis(5);
+    config.merkle_depth = 8;
+    config.strict_ro_rounds = strict_ro;
+    env_opts.seed = seed;
+    env_opts.inter_site_latency = cross_latency;
+    system = std::make_unique<System>(config, env_opts);
+    workload::WorkloadOptions wopts;
+    wopts.num_keys = 300;
+    wopts.value_size = 8;
+    data = workload::KeySpace(wopts, 3).InitialData();
+    system->Preload(data);
+    system->Start();
+  }
+
+  Key KeyIn(PartitionId p, size_t skip = 0) {
+    for (const auto& [key, value] : data) {
+      if (pmap.OwnerOf(key) == p) {
+        if (skip == 0) return key;
+        --skip;
+      }
+    }
+    ADD_FAILURE() << "no key in partition " << p;
+    return "";
+  }
+};
+
+TEST(ReadOnlyTest, PairedWritesAreNeverTornAcrossPartitions) {
+  // The Figure 1 invariant, live: distributed transactions write matching
+  // values to (x in X, y in Y); every read-only transaction must observe
+  // x == y, whatever interleaving occurs. This is exactly the anomaly
+  // Merkle trees alone cannot prevent and CD vectors do.
+  Fixture fx(/*seed=*/31, /*cross_latency=*/sim::Millis(8));
+  Key kx = fx.KeyIn(0), ky = fx.KeyIn(1);
+  Client* writer = fx.system->AddClient();
+  Client* reader = fx.system->AddClient();
+
+  // Writer: continuous stream of paired writes v1, v2, ...
+  int version = 0;
+  std::function<void()> write_next = [&] {
+    if (fx.system->env().now() > sim::Seconds(4)) return;
+    ++version;
+    std::string v = "v" + std::to_string(version);
+    writer->ExecuteReadWrite(
+        {}, {WriteOp{kx, ToBytes(v)}, WriteOp{ky, ToBytes(v)}},
+        [&](RwResult) { write_next(); });
+  };
+
+  // Reader: continuous read-only transactions over {x, y}. Before the
+  // first paired write commits, both keys still hold their (different)
+  // preload values; the invariant applies once versioned values ("v...")
+  // appear on either key.
+  int reads = 0, two_rounds = 0;
+  std::function<void()> read_next = [&] {
+    if (fx.system->env().now() > sim::Seconds(4)) return;
+    reader->ExecuteReadOnly({kx, ky}, [&](RoResult r) {
+      ASSERT_TRUE(r.status.ok()) << r.status;
+      ASSERT_TRUE(r.values[kx].has_value());
+      ASSERT_TRUE(r.values[ky].has_value());
+      std::string x = ToString(*r.values[kx]);
+      std::string y = ToString(*r.values[ky]);
+      if (x.starts_with("v") || y.starts_with("v")) {
+        EXPECT_EQ(x, y) << "torn read at simulated time "
+                        << fx.system->env().now();
+      }
+      EXPECT_FALSE(r.needed_third_round);
+      ++reads;
+      if (r.rounds > 1) ++two_rounds;
+      read_next();
+    });
+  };
+
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    write_next();
+    read_next();
+  });
+  fx.system->env().RunUntil(sim::Seconds(8));
+
+  EXPECT_GT(version, 20);
+  EXPECT_GT(reads, 20);
+  // With 8 ms between clusters, the commit-record propagation window is
+  // wide enough that some reads needed the second round.
+  EXPECT_GT(two_rounds, 0) << "expected at least one two-round read";
+}
+
+TEST(ReadOnlyTest, SecondRoundRepliesAreFlaggedAndServeHistoricalState) {
+  Fixture fx(/*seed=*/33, /*cross_latency=*/sim::Millis(8));
+  Key kx = fx.KeyIn(0), ky = fx.KeyIn(1);
+  Client* client = fx.system->AddClient();
+
+  std::optional<RoResult> ro;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite(
+        {}, {WriteOp{kx, ToBytes("n")}, WriteOp{ky, ToBytes("n")}},
+        [&](RwResult r) {
+          ASSERT_TRUE(r.committed);
+          // Fire the read immediately: the coordinator committed but the
+          // participant has not — prime round-2 territory.
+          client->ExecuteReadOnly({kx, ky},
+                                  [&](RoResult r2) { ro = std::move(r2); });
+        });
+  });
+  fx.system->env().RunUntil(sim::Seconds(6));
+
+  ASSERT_TRUE(ro.has_value());
+  ASSERT_TRUE(ro->status.ok()) << ro->status;
+  EXPECT_EQ(ToString(*ro->values[kx]), ToString(*ro->values[ky]));
+  EXPECT_FALSE(ro->needed_third_round);
+}
+
+// Runs overlapping paired writers plus a multi-partition reader; returns
+// (reads completed, reader stats).
+int RunCrossGroupLoad(Fixture& fx, Client* reader, int* max_rounds) {
+  std::vector<Client*> writers;
+  for (int i = 0; i < 4; ++i) writers.push_back(fx.system->AddClient());
+
+  for (size_t w = 0; w < writers.size(); ++w) {
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&fx, w, loop, writers] {
+      if (fx.system->env().now() > sim::Seconds(4)) return;
+      Key a = fx.KeyIn(static_cast<PartitionId>(w % 3), w);
+      Key b = fx.KeyIn(static_cast<PartitionId>((w + 1) % 3), w);
+      writers[w]->ExecuteReadWrite(
+          {}, {WriteOp{a, ToBytes("x")}, WriteOp{b, ToBytes("x")}},
+          [loop](RwResult) { (*loop)(); });
+    };
+    fx.system->env().Schedule(sim::Millis(30), *loop);
+  }
+
+  auto completed = std::make_shared<int>(0);
+  auto read_loop = std::make_shared<std::function<void()>>();
+  *read_loop = [&fx, reader, completed, max_rounds, read_loop] {
+    if (fx.system->env().now() > sim::Seconds(4)) return;
+    std::vector<Key> keys{fx.KeyIn(0), fx.KeyIn(1), fx.KeyIn(2)};
+    reader->ExecuteReadOnly(keys, [completed, max_rounds,
+                                   read_loop](RoResult r) {
+      ASSERT_TRUE(r.status.ok()) << r.status;
+      *max_rounds = std::max(*max_rounds, r.rounds);
+      ++*completed;
+      (*read_loop)();
+    });
+  };
+  fx.system->env().Schedule(sim::Millis(40), *read_loop);
+  fx.system->env().RunUntil(sim::Seconds(8));
+  return *completed;
+}
+
+TEST(ReadOnlyTest, PaperModeTerminatesAfterTwoRounds) {
+  // The paper's protocol: at most two rounds, always (Theorem 4.6). The
+  // residual-dependency diagnostic may fire under cross-group commits —
+  // the corner DESIGN.md §4 documents — but must stay rare.
+  Fixture fx(/*seed=*/35, /*cross_latency=*/sim::Millis(6));
+  Client* reader = fx.system->AddClient();
+  int max_rounds = 0;
+  int completed = RunCrossGroupLoad(fx, reader, &max_rounds);
+
+  EXPECT_GT(completed, 10);
+  EXPECT_LE(max_rounds, 2);
+  // The residual corner is rare: well under 10% of reads.
+  EXPECT_LE(reader->stats().ro_third_round_would_be_needed,
+            static_cast<uint64_t>(completed) / 10);
+}
+
+TEST(ReadOnlyTest, StrictModeSettlesToConsistency) {
+  // Strict mode (an extension over the paper): keep issuing targeted
+  // rounds until Algorithm 2 passes. Always settles within a few rounds
+  // and never reports residual dependencies.
+  Fixture fx(/*seed=*/35, /*cross_latency=*/sim::Millis(6),
+             /*strict_ro=*/true);
+  Client* reader = fx.system->AddClient();
+  int max_rounds = 0;
+  int completed = RunCrossGroupLoad(fx, reader, &max_rounds);
+
+  EXPECT_GT(completed, 10);
+  EXPECT_LE(max_rounds, fx.config.max_ro_rounds);
+  EXPECT_EQ(reader->stats().ro_third_round_would_be_needed, 0u);
+}
+
+TEST(ReadOnlyTest, CommitFreedomOnlyLeadersAnswer) {
+  // Commit-freedom: a read-only transaction touches one node per
+  // accessed partition and runs no consensus. We check that serving a
+  // read-only burst creates no new batches beyond background cadence.
+  Fixture fx;
+  Client* client = fx.system->AddClient();
+  fx.system->env().RunUntil(sim::Millis(100));
+  uint64_t batches_before = fx.system->TotalBatches();
+
+  int completed = 0;
+  fx.system->env().Schedule(sim::Millis(5), [&] {
+    for (int i = 0; i < 50; ++i) {
+      client->ExecuteReadOnly({fx.KeyIn(0), fx.KeyIn(1), fx.KeyIn(2)},
+                              [&](RoResult r) {
+                                ASSERT_TRUE(r.status.ok());
+                                ++completed;
+                              });
+    }
+  });
+  fx.system->env().RunUntil(sim::Seconds(2));
+  EXPECT_EQ(completed, 50);
+  // No read-only transaction produced a batch: the log only advances if
+  // read-write work arrives (it did not).
+  EXPECT_EQ(fx.system->TotalBatches(), batches_before);
+}
+
+TEST(ReadOnlyTest, ValuesMatchVersionedStoreState) {
+  Fixture fx;
+  Client* client = fx.system->AddClient();
+  Key k = fx.KeyIn(2);
+
+  std::optional<RoResult> ro;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadOnly({k}, [&](RoResult r) { ro = std::move(r); });
+  });
+  fx.system->env().RunUntil(sim::Seconds(2));
+  ASSERT_TRUE(ro.has_value());
+  ASSERT_TRUE(ro->status.ok());
+  auto stored = fx.system->node(2, 0)->store().Get(k);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*ro->values[k], stored->value);
+}
+
+TEST(ReadOnlyTest, AbsentKeyComesBackVerifiedAbsent) {
+  Fixture fx;
+  Client* client = fx.system->AddClient();
+
+  std::optional<RoResult> ro;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadOnly({"never-written-key"},
+                            [&](RoResult r) { ro = std::move(r); });
+  });
+  fx.system->env().RunUntil(sim::Seconds(2));
+  ASSERT_TRUE(ro.has_value());
+  ASSERT_TRUE(ro->status.ok()) << ro->status;  // Absence proof verified.
+  ASSERT_TRUE(ro->values.count("never-written-key") > 0);
+  EXPECT_FALSE(ro->values["never-written-key"].has_value());
+}
+
+TEST(ReadOnlyTest, NonInterferenceWithWriters) {
+  // TransEdge read-only transactions must not abort writers (Table 1's
+  // TransEdge row is all zeros).
+  Fixture fx;
+  Client* reader = fx.system->AddClient();
+  Client* writer = fx.system->AddClient();
+  Key k = fx.KeyIn(0);
+
+  int writes_committed = 0, writes_aborted = 0, reads_done = 0;
+  auto write_loop = std::make_shared<std::function<void()>>();
+  *write_loop = [&, write_loop] {
+    if (fx.system->env().now() > sim::Seconds(3)) return;
+    writer->ExecuteReadWrite({}, {WriteOp{k, ToBytes("w")}},
+                             [&, write_loop](RwResult r) {
+                               r.committed ? ++writes_committed
+                                           : ++writes_aborted;
+                               (*write_loop)();
+                             });
+  };
+  auto read_loop = std::make_shared<std::function<void()>>();
+  *read_loop = [&, read_loop] {
+    if (fx.system->env().now() > sim::Seconds(3)) return;
+    reader->ExecuteReadOnly({k}, [&, read_loop](RoResult r) {
+      ASSERT_TRUE(r.status.ok());
+      ++reads_done;
+      (*read_loop)();
+    });
+  };
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    (*write_loop)();
+    (*read_loop)();
+  });
+  fx.system->env().RunUntil(sim::Seconds(6));
+
+  EXPECT_GT(writes_committed, 50);
+  EXPECT_GT(reads_done, 50);
+  EXPECT_EQ(writes_aborted, 0);  // Reads never blocked or aborted writes.
+  EXPECT_EQ(fx.system->TotalRwAbortedByRoLocks(), 0u);
+}
+
+// Property sweep over seeds: the paired-write invariant holds for any
+// interleaving the simulator produces.
+class RoConsistencySeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoConsistencySeedTest, PairedWritesConsistentUnderSeed) {
+  Fixture fx(GetParam(), sim::Millis(4));
+  Key kx = fx.KeyIn(0, 3), ky = fx.KeyIn(2, 3);
+  Client* writer = fx.system->AddClient();
+  Client* reader = fx.system->AddClient();
+
+  int version = 0, reads = 0;
+  auto write_loop = std::make_shared<std::function<void()>>();
+  *write_loop = [&, write_loop] {
+    if (fx.system->env().now() > sim::Seconds(2)) return;
+    std::string v = "v" + std::to_string(++version);
+    writer->ExecuteReadWrite(
+        {}, {WriteOp{kx, ToBytes(v)}, WriteOp{ky, ToBytes(v)}},
+        [write_loop](RwResult) { (*write_loop)(); });
+  };
+  auto read_loop = std::make_shared<std::function<void()>>();
+  *read_loop = [&, read_loop] {
+    if (fx.system->env().now() > sim::Seconds(2)) return;
+    reader->ExecuteReadOnly({kx, ky}, [&, read_loop](RoResult r) {
+      ASSERT_TRUE(r.status.ok());
+      std::string x = ToString(*r.values[kx]);
+      std::string y = ToString(*r.values[ky]);
+      if (x.starts_with("v") || y.starts_with("v")) EXPECT_EQ(x, y);
+      EXPECT_FALSE(r.needed_third_round);
+      ++reads;
+      (*read_loop)();
+    });
+  };
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    (*write_loop)();
+    (*read_loop)();
+  });
+  fx.system->env().RunUntil(sim::Seconds(5));
+  EXPECT_GT(reads, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoConsistencySeedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace transedge

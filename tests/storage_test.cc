@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "storage/batch.h"
+#include "storage/partition_map.h"
+#include "storage/smr_log.h"
+#include "storage/versioned_store.h"
+
+namespace transedge::storage {
+namespace {
+
+// --- VersionedStore ----------------------------------------------------------
+
+TEST(VersionedStoreTest, GetLatest) {
+  VersionedStore store;
+  store.Put("k", ToBytes("v0"), 0);
+  store.Put("k", ToBytes("v3"), 3);
+  VersionedValue v = store.Get("k").value();
+  EXPECT_EQ(ToString(v.value), "v3");
+  EXPECT_EQ(v.version, 3);
+}
+
+TEST(VersionedStoreTest, MissingKeyIsNotFound) {
+  VersionedStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+  EXPECT_EQ(store.LatestVersion("nope"), kNoBatch);
+}
+
+TEST(VersionedStoreTest, GetAsOfPicksRightVersion) {
+  VersionedStore store;
+  store.Put("k", ToBytes("v0"), 0);
+  store.Put("k", ToBytes("v5"), 5);
+  store.Put("k", ToBytes("v9"), 9);
+
+  EXPECT_EQ(ToString(store.GetAsOf("k", 0)->value), "v0");
+  EXPECT_EQ(ToString(store.GetAsOf("k", 4)->value), "v0");
+  EXPECT_EQ(ToString(store.GetAsOf("k", 5)->value), "v5");
+  EXPECT_EQ(ToString(store.GetAsOf("k", 8)->value), "v5");
+  EXPECT_EQ(ToString(store.GetAsOf("k", 100)->value), "v9");
+}
+
+TEST(VersionedStoreTest, GetAsOfBeforeFirstVersionIsNotFound) {
+  VersionedStore store;
+  store.Put("k", ToBytes("v5"), 5);
+  EXPECT_TRUE(store.GetAsOf("k", 4).status().IsNotFound());
+}
+
+TEST(VersionedStoreTest, SameVersionOverwrites) {
+  VersionedStore store;
+  store.Put("k", ToBytes("a"), 2);
+  store.Put("k", ToBytes("b"), 2);
+  EXPECT_EQ(ToString(store.Get("k")->value), "b");
+  EXPECT_EQ(store.total_versions(), 1u);
+}
+
+TEST(VersionedStoreTest, TruncateHistoryKeepsServingLatest) {
+  VersionedStore store;
+  for (BatchId v = 0; v < 10; ++v) {
+    store.Put("k", ToBytes("v" + std::to_string(v)), v);
+  }
+  EXPECT_EQ(store.total_versions(), 10u);
+  size_t dropped = store.TruncateHistory(7);
+  EXPECT_EQ(dropped, 7u);  // Versions 0..6 dropped; 7, 8, 9 kept.
+  EXPECT_EQ(ToString(store.GetAsOf("k", 7)->value), "v7");
+  EXPECT_EQ(ToString(store.Get("k")->value), "v9");
+  EXPECT_TRUE(store.GetAsOf("k", 5).status().IsNotFound());
+}
+
+// --- PartitionMap ------------------------------------------------------------
+
+TEST(PartitionMapTest, OwnershipIsDeterministicAndInRange) {
+  PartitionMap pmap(5);
+  for (int i = 0; i < 200; ++i) {
+    Key key = "key" + std::to_string(i);
+    PartitionId p = pmap.OwnerOf(key);
+    EXPECT_LT(p, 5u);
+    EXPECT_EQ(p, pmap.OwnerOf(key));
+  }
+}
+
+TEST(PartitionMapTest, KeysSpreadAcrossPartitions) {
+  PartitionMap pmap(5);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 2000; ++i) {
+    ++counts[pmap.OwnerOf("key" + std::to_string(i))];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 200);  // Roughly uniform: each gets ~400 of 2000.
+    EXPECT_LT(c, 700);
+  }
+}
+
+TEST(PartitionMapTest, ParticipantsSortedDistinct) {
+  PartitionMap pmap(5);
+  std::vector<ReadOp> reads;
+  std::vector<WriteOp> writes;
+  for (int i = 0; i < 40; ++i) {
+    reads.push_back(ReadOp{"r" + std::to_string(i), kNoBatch});
+    writes.push_back(WriteOp{"w" + std::to_string(i), {}});
+  }
+  std::vector<PartitionId> parts = pmap.ParticipantsOf(reads, writes);
+  EXPECT_FALSE(parts.empty());
+  for (size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_LT(parts[i - 1], parts[i]);
+  }
+}
+
+TEST(PartitionMapTest, RestrictionCoversAllOps) {
+  PartitionMap pmap(3);
+  Transaction txn;
+  for (int i = 0; i < 30; ++i) {
+    txn.read_set.push_back(ReadOp{"r" + std::to_string(i), kNoBatch});
+    txn.write_set.push_back(WriteOp{"w" + std::to_string(i), {}});
+  }
+  size_t reads = 0, writes = 0;
+  for (PartitionId p = 0; p < 3; ++p) {
+    reads += pmap.ReadsFor(txn, p).size();
+    writes += pmap.WritesFor(txn, p).size();
+  }
+  EXPECT_EQ(reads, txn.read_set.size());
+  EXPECT_EQ(writes, txn.write_set.size());
+}
+
+// --- SmrLog ------------------------------------------------------------------
+
+LogEntry MakeEntry(BatchId id) {
+  LogEntry entry;
+  entry.batch.id = id;
+  entry.batch.partition = 0;
+  return entry;
+}
+
+TEST(SmrLogTest, AppendsInOrder) {
+  SmrLog log;
+  EXPECT_EQ(log.LastBatchId(), kNoBatch);
+  EXPECT_TRUE(log.Append(MakeEntry(0)).ok());
+  EXPECT_TRUE(log.Append(MakeEntry(1)).ok());
+  EXPECT_EQ(log.LastBatchId(), 1);
+  EXPECT_EQ(log.Get(0).value()->batch.id, 0);
+}
+
+TEST(SmrLogTest, RejectsOutOfOrderAppend) {
+  SmrLog log;
+  EXPECT_TRUE(log.Append(MakeEntry(0)).ok());
+  EXPECT_EQ(log.Append(MakeEntry(2)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(log.Append(MakeEntry(0)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SmrLogTest, GetOutOfRangeIsNotFound) {
+  SmrLog log;
+  EXPECT_TRUE(log.Get(0).status().IsNotFound());
+  EXPECT_TRUE(log.Append(MakeEntry(0)).ok());
+  EXPECT_TRUE(log.Get(1).status().IsNotFound());
+  EXPECT_TRUE(log.Get(-1).status().IsNotFound());
+}
+
+// --- Batch serialization -----------------------------------------------------
+
+Batch SampleBatch() {
+  Batch batch;
+  batch.partition = 2;
+  batch.id = 7;
+  Transaction t1;
+  t1.id = MakeTxnId(9, 1);
+  t1.read_set = {ReadOp{"a", 3}};
+  t1.write_set = {WriteOp{"b", ToBytes("vb")}};
+  t1.participants = {2};
+  t1.coordinator = 2;
+  batch.local.push_back(t1);
+
+  Transaction t2 = t1;
+  t2.id = MakeTxnId(9, 2);
+  t2.participants = {1, 2};
+  t2.coordinator = 1;
+  batch.prepared.push_back(t2);
+
+  CommitRecord rec;
+  rec.txn_id = MakeTxnId(9, 3);
+  rec.committed = true;
+  rec.prepared_in_batch = 5;
+  PreparedInfo info;
+  info.partition = 1;
+  info.prepared_in_batch = 4;
+  info.vote = true;
+  info.cd_vector = core::CdVector(3);
+  info.cd_vector.Set(1, 4);
+  rec.participant_info.push_back(info);
+  batch.committed.push_back(rec);
+
+  batch.ro.cd_vector = core::CdVector(3);
+  batch.ro.cd_vector.Set(2, 7);
+  batch.ro.cd_vector.Set(1, 4);
+  batch.ro.lce = 5;
+  batch.ro.merkle_root = crypto::Sha256::Hash(std::string_view("root"));
+  batch.ro.timestamp_us = 123456;
+  return batch;
+}
+
+TEST(BatchTest, EncodeDecodeRoundTrip) {
+  Batch batch = SampleBatch();
+  Encoder enc;
+  batch.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  Batch decoded = Batch::DecodeFrom(&dec).value();
+  EXPECT_EQ(decoded, batch);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(BatchTest, DigestIsContentSensitive) {
+  Batch a = SampleBatch();
+  Batch b = SampleBatch();
+  EXPECT_EQ(a.ComputeDigest(), b.ComputeDigest());
+  b.ro.timestamp_us += 1;
+  EXPECT_NE(a.ComputeDigest(), b.ComputeDigest());
+}
+
+TEST(BatchTest, TruncatedDecodeFails) {
+  Batch batch = SampleBatch();
+  Encoder enc;
+  batch.EncodeTo(&enc);
+  Bytes truncated(enc.buffer().begin(),
+                  enc.buffer().begin() +
+                      static_cast<long>(enc.buffer().size() / 2));
+  Decoder dec(truncated);
+  EXPECT_FALSE(Batch::DecodeFrom(&dec).ok());
+}
+
+TEST(BatchCertificateTest, SignAndVerifyQuorum) {
+  crypto::HmacSignatureScheme scheme(7, 3);
+  Batch batch = SampleBatch();
+  BatchCertificate cert;
+  cert.partition = batch.partition;
+  cert.batch_id = batch.id;
+  cert.batch_digest = batch.ComputeDigest();
+  cert.merkle_root = batch.ro.merkle_root;
+  cert.ro_digest = batch.ro.ComputeDigest();
+  for (crypto::NodeId id : {0u, 1u, 2u}) {
+    cert.signatures.Add(scheme.MakeSigner(id)->Sign(cert.SignedPayload()));
+  }
+  std::vector<crypto::NodeId> members{0, 1, 2, 3, 4, 5, 6};
+  EXPECT_TRUE(cert.Verify(scheme.verifier(), 3, members).ok());
+  EXPECT_FALSE(cert.Verify(scheme.verifier(), 4, members).ok());
+
+  // Tampering with the read-only segment digest invalidates it.
+  cert.ro_digest.bytes[0] ^= 1;
+  EXPECT_FALSE(cert.Verify(scheme.verifier(), 3, members).ok());
+}
+
+TEST(BatchCertificateTest, EncodeDecodeRoundTrip) {
+  crypto::HmacSignatureScheme scheme(7, 3);
+  BatchCertificate cert;
+  cert.partition = 1;
+  cert.batch_id = 9;
+  cert.batch_digest = crypto::Sha256::Hash(std::string_view("d"));
+  cert.merkle_root = crypto::Sha256::Hash(std::string_view("r"));
+  cert.ro_digest = crypto::Sha256::Hash(std::string_view("ro"));
+  cert.signatures.Add(scheme.MakeSigner(0)->Sign(cert.SignedPayload()));
+
+  Encoder enc;
+  cert.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  BatchCertificate decoded = BatchCertificate::DecodeFrom(&dec).value();
+  EXPECT_EQ(decoded.partition, cert.partition);
+  EXPECT_EQ(decoded.batch_id, cert.batch_id);
+  EXPECT_EQ(decoded.batch_digest, cert.batch_digest);
+  EXPECT_EQ(decoded.merkle_root, cert.merkle_root);
+  EXPECT_EQ(decoded.ro_digest, cert.ro_digest);
+  ASSERT_EQ(decoded.signatures.size(), 1u);
+}
+
+}  // namespace
+}  // namespace transedge::storage

@@ -1,0 +1,211 @@
+// Whole-stack smoke tests: build a full deployment, run transactions end
+// to end through consensus, 2PC, and the read-only protocol.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/system.h"
+#include "workload/generator.h"
+
+namespace transedge {
+namespace {
+
+using core::Client;
+using core::RoResult;
+using core::RwResult;
+using core::System;
+using core::SystemConfig;
+
+SystemConfig SmallConfig() {
+  SystemConfig config;
+  config.num_partitions = 3;
+  config.f = 1;  // 4 replicas per cluster.
+  config.batch_interval = sim::Millis(5);
+  config.merkle_depth = 10;
+  return config;
+}
+
+sim::EnvironmentOptions FastEnv() {
+  sim::EnvironmentOptions opts;
+  opts.seed = 7;
+  opts.inter_site_latency = sim::Millis(2);
+  return opts;
+}
+
+std::vector<std::pair<Key, Value>> TestData(uint32_t partitions,
+                                            uint64_t num_keys = 300) {
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = num_keys;
+  wopts.value_size = 16;
+  workload::KeySpace keys(wopts, partitions);
+  return keys.InitialData();
+}
+
+TEST(SystemSmokeTest, GenesisBatchesCertifyPreload) {
+  SystemConfig config = SmallConfig();
+  System system(config, FastEnv());
+  system.Preload(TestData(config.num_partitions));
+  system.Start();
+  system.env().RunUntil(sim::Millis(200));
+
+  for (PartitionId p = 0; p < config.num_partitions; ++p) {
+    for (uint32_t i = 0; i < config.replicas_per_cluster(); ++i) {
+      const auto& log = system.node(p, i)->log();
+      ASSERT_GE(log.size(), 1u) << "partition " << p << " replica " << i;
+      // Every replica of a cluster agrees on the genesis batch.
+      EXPECT_EQ(log.Get(0).value()->batch.ro.merkle_root,
+                system.node(p, 0)->log().Get(0).value()->batch.ro.merkle_root);
+    }
+  }
+}
+
+TEST(SystemSmokeTest, LocalTransactionCommits) {
+  SystemConfig config = SmallConfig();
+  System system(config, FastEnv());
+  auto data = TestData(config.num_partitions);
+  system.Preload(data);
+  system.Start();
+  Client* client = system.AddClient();
+
+  // Pick two keys from partition 0.
+  storage::PartitionMap pmap(config.num_partitions);
+  std::vector<Key> part0_keys;
+  for (const auto& [key, value] : data) {
+    if (pmap.OwnerOf(key) == 0) part0_keys.push_back(key);
+    if (part0_keys.size() == 2) break;
+  }
+  ASSERT_EQ(part0_keys.size(), 2u);
+
+  std::optional<RwResult> result;
+  system.env().Schedule(sim::Millis(50), [&] {
+    client->ExecuteReadWrite(
+        {part0_keys[0]}, {WriteOp{part0_keys[1], ToBytes("new-value")}},
+        [&](RwResult r) { result = std::move(r); });
+  });
+  system.env().RunUntil(sim::Seconds(2));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+  EXPECT_GT(result->latency, 0);
+
+  // The write is visible on every replica of partition 0.
+  for (uint32_t i = 0; i < config.replicas_per_cluster(); ++i) {
+    auto value = system.node(0, i)->store().Get(part0_keys[1]);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(ToString(value->value), "new-value");
+  }
+}
+
+TEST(SystemSmokeTest, DistributedTransactionCommitsAcrossClusters) {
+  SystemConfig config = SmallConfig();
+  System system(config, FastEnv());
+  auto data = TestData(config.num_partitions);
+  system.Preload(data);
+  system.Start();
+  Client* client = system.AddClient();
+
+  storage::PartitionMap pmap(config.num_partitions);
+  Key key_a, key_b;
+  for (const auto& [key, value] : data) {
+    if (key_a.empty() && pmap.OwnerOf(key) == 0) key_a = key;
+    if (key_b.empty() && pmap.OwnerOf(key) == 1) key_b = key;
+  }
+  ASSERT_FALSE(key_a.empty());
+  ASSERT_FALSE(key_b.empty());
+
+  std::optional<RwResult> result;
+  system.env().Schedule(sim::Millis(50), [&] {
+    client->ExecuteReadWrite({key_a, key_b},
+                             {WriteOp{key_a, ToBytes("va")},
+                              WriteOp{key_b, ToBytes("vb")}},
+                             [&](RwResult r) { result = std::move(r); });
+  });
+  system.env().RunUntil(sim::Seconds(5));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+
+  // Both partitions applied their half of the write set on all replicas.
+  for (uint32_t i = 0; i < config.replicas_per_cluster(); ++i) {
+    EXPECT_EQ(ToString(system.node(0, i)->store().Get(key_a)->value), "va");
+    EXPECT_EQ(ToString(system.node(1, i)->store().Get(key_b)->value), "vb");
+  }
+}
+
+TEST(SystemSmokeTest, ReadOnlyTransactionVerifiesAndReturnsValues) {
+  SystemConfig config = SmallConfig();
+  System system(config, FastEnv());
+  auto data = TestData(config.num_partitions);
+  system.Preload(data);
+  system.Start();
+  Client* client = system.AddClient();
+
+  // One key per partition.
+  storage::PartitionMap pmap(config.num_partitions);
+  std::vector<Key> keys(config.num_partitions);
+  std::vector<Value> expected(config.num_partitions);
+  for (const auto& [key, value] : data) {
+    PartitionId p = pmap.OwnerOf(key);
+    if (keys[p].empty()) {
+      keys[p] = key;
+      expected[p] = value;
+    }
+  }
+
+  std::optional<RoResult> result;
+  system.env().Schedule(sim::Millis(50), [&] {
+    client->ExecuteReadOnly({keys.begin(), keys.end()},
+                            [&](RoResult r) { result = std::move(r); });
+  });
+  system.env().RunUntil(sim::Seconds(2));
+
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->status.ok()) << result->status;
+  EXPECT_FALSE(result->needed_third_round);
+  EXPECT_LE(result->rounds, 2);
+  for (PartitionId p = 0; p < config.num_partitions; ++p) {
+    ASSERT_TRUE(result->values.count(keys[p]) > 0);
+    ASSERT_TRUE(result->values[keys[p]].has_value());
+    EXPECT_EQ(*result->values[keys[p]], expected[p]);
+  }
+}
+
+TEST(SystemSmokeTest, ReadOnlySeesCommittedWrite) {
+  SystemConfig config = SmallConfig();
+  System system(config, FastEnv());
+  auto data = TestData(config.num_partitions);
+  system.Preload(data);
+  system.Start();
+  Client* client = system.AddClient();
+
+  storage::PartitionMap pmap(config.num_partitions);
+  Key key;
+  for (const auto& [k, v] : data) {
+    if (pmap.OwnerOf(k) == 1) {
+      key = k;
+      break;
+    }
+  }
+
+  std::optional<RoResult> ro;
+  system.env().Schedule(sim::Millis(50), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{key, ToBytes("fresh")}},
+                             [&](RwResult r) {
+                               ASSERT_TRUE(r.committed);
+                               client->ExecuteReadOnly(
+                                   {key}, [&](RoResult r2) {
+                                     ro = std::move(r2);
+                                   });
+                             });
+  });
+  system.env().RunUntil(sim::Seconds(3));
+
+  ASSERT_TRUE(ro.has_value());
+  ASSERT_TRUE(ro->status.ok()) << ro->status;
+  ASSERT_TRUE(ro->values[key].has_value());
+  EXPECT_EQ(ToString(*ro->values[key]), "fresh");
+}
+
+}  // namespace
+}  // namespace transedge

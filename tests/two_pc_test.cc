@@ -1,0 +1,256 @@
+// Distributed (2PC-over-BFT) transaction tests: prepare/commit flow,
+// conflict aborts, prepare-group ordering, and CD-vector bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/system.h"
+#include "workload/generator.h"
+
+namespace transedge {
+namespace {
+
+using core::Client;
+using core::RwResult;
+using core::System;
+using core::SystemConfig;
+
+struct Fixture {
+  SystemConfig config;
+  std::unique_ptr<System> system;
+  std::vector<std::pair<Key, Value>> data;
+  storage::PartitionMap pmap;
+
+  explicit Fixture(uint32_t partitions = 3, uint64_t seed = 5)
+      : pmap(partitions) {
+    config.num_partitions = partitions;
+    config.f = 1;
+    config.batch_interval = sim::Millis(5);
+    config.merkle_depth = 8;
+    sim::EnvironmentOptions env_opts;
+    env_opts.seed = seed;
+    env_opts.inter_site_latency = sim::Millis(1);
+    system = std::make_unique<System>(config, env_opts);
+    workload::WorkloadOptions wopts;
+    wopts.num_keys = 200;
+    wopts.value_size = 8;
+    data = workload::KeySpace(wopts, partitions).InitialData();
+    system->Preload(data);
+    system->Start();
+  }
+
+  Key KeyIn(PartitionId p, size_t skip = 0) {
+    for (const auto& [key, value] : data) {
+      if (pmap.OwnerOf(key) == p) {
+        if (skip == 0) return key;
+        --skip;
+      }
+    }
+    ADD_FAILURE() << "no key in partition " << p;
+    return "";
+  }
+};
+
+TEST(TwoPcTest, CommitSpanningAllClusters) {
+  Fixture fx;
+  Client* client = fx.system->AddClient();
+  Key k0 = fx.KeyIn(0), k1 = fx.KeyIn(1), k2 = fx.KeyIn(2);
+
+  std::optional<RwResult> result;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite(
+        {k0, k1, k2},
+        {WriteOp{k0, ToBytes("w0")}, WriteOp{k1, ToBytes("w1")},
+         WriteOp{k2, ToBytes("w2")}},
+        [&](RwResult r) { result = std::move(r); });
+  });
+  fx.system->env().RunUntil(sim::Seconds(5));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+  EXPECT_EQ(ToString(fx.system->node(0, 0)->store().Get(k0)->value), "w0");
+  EXPECT_EQ(ToString(fx.system->node(1, 0)->store().Get(k1)->value), "w1");
+  EXPECT_EQ(ToString(fx.system->node(2, 0)->store().Get(k2)->value), "w2");
+}
+
+TEST(TwoPcTest, StaleReadAbortsAtCoordinator) {
+  Fixture fx;
+  Client* client = fx.system->AddClient();
+  Key k0 = fx.KeyIn(0), k1 = fx.KeyIn(1);
+
+  std::optional<RwResult> first, second;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    // First transaction reads k0 and k1, then writes k0.
+    client->ExecuteReadWrite({k0, k1}, {WriteOp{k0, ToBytes("first")}},
+                             [&](RwResult r) {
+                               first = std::move(r);
+                               // Second transaction reads *its own stale
+                               // snapshot* — we fake staleness by writing
+                               // again with versions from before.
+                             });
+  });
+  fx.system->env().RunUntil(sim::Seconds(3));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(first->committed);
+
+  // Craft a transaction with an outdated read version directly.
+  Transaction txn;
+  txn.id = MakeTxnId(9999, 1);
+  txn.read_set.push_back(ReadOp{k0, 0});  // k0 was overwritten since v0.
+  txn.write_set.push_back(WriteOp{k1, ToBytes("second")});
+  txn.participants = fx.pmap.ParticipantsOf(txn.read_set, txn.write_set);
+  txn.coordinator = fx.pmap.OwnerOf(k0);
+
+  auto msg = std::make_shared<wire::CommitRequest>();
+  msg->reply_to = client->id();
+  msg->txn = txn;
+  // Send straight to the coordinator's leader.
+  fx.system->env().network().Send(
+      client->id(), fx.config.LeaderOf(txn.coordinator, 0), msg);
+  fx.system->env().RunUntil(sim::Seconds(6));
+
+  // The stale transaction must not have applied its write.
+  EXPECT_NE(ToString(fx.system->node(fx.pmap.OwnerOf(k1), 0)
+                         ->store()
+                         .Get(k1)
+                         ->value),
+            "second");
+}
+
+TEST(TwoPcTest, ConflictingConcurrentDistributedTxnsDoNotBothCommit) {
+  Fixture fx;
+  Client* c1 = fx.system->AddClient();
+  Client* c2 = fx.system->AddClient();
+  Key k0 = fx.KeyIn(0), k1 = fx.KeyIn(1);
+
+  std::optional<RwResult> r1, r2;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    c1->ExecuteReadWrite({k0, k1}, {WriteOp{k0, ToBytes("c1")},
+                                    WriteOp{k1, ToBytes("c1")}},
+                         [&](RwResult r) { r1 = std::move(r); });
+    c2->ExecuteReadWrite({k0, k1}, {WriteOp{k0, ToBytes("c2")},
+                                    WriteOp{k1, ToBytes("c2")}},
+                         [&](RwResult r) { r2 = std::move(r); });
+  });
+  fx.system->env().RunUntil(sim::Seconds(5));
+
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  // OCC admits at most one of two conflicting concurrent transactions.
+  EXPECT_FALSE(r1->committed && r2->committed);
+  EXPECT_TRUE(r1->committed || r2->committed);
+
+  // Whichever committed is the value present on both partitions.
+  std::string winner = r1->committed ? "c1" : "c2";
+  EXPECT_EQ(ToString(fx.system->node(0, 0)->store().Get(k0)->value), winner);
+  EXPECT_EQ(ToString(fx.system->node(1, 0)->store().Get(k1)->value), winner);
+}
+
+TEST(TwoPcTest, CommitRecordsCarryParticipantCdVectors) {
+  Fixture fx;
+  Client* client = fx.system->AddClient();
+  Key k0 = fx.KeyIn(0), k1 = fx.KeyIn(1);
+
+  std::optional<RwResult> result;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{k0, ToBytes("x")},
+                                  WriteOp{k1, ToBytes("y")}},
+                             [&](RwResult r) { result = std::move(r); });
+  });
+  fx.system->env().RunUntil(sim::Seconds(5));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->committed);
+
+  // Find the commit record for this transaction on partition 0's log.
+  bool found = false;
+  const auto& log = fx.system->node(0, 0)->log();
+  for (BatchId b = 0; b <= log.LastBatchId(); ++b) {
+    for (const storage::CommitRecord& rec :
+         log.Get(b).value()->batch.committed) {
+      if (rec.txn_id != result->txn_id) continue;
+      found = true;
+      EXPECT_TRUE(rec.committed);
+      // Both participants reported their prepare batch + CD vector.
+      EXPECT_EQ(rec.participant_info.size(), 2u);
+      for (const storage::PreparedInfo& info : rec.participant_info) {
+        EXPECT_TRUE(info.vote);
+        EXPECT_GE(info.prepared_in_batch, 0);
+        EXPECT_EQ(info.cd_vector.size(), fx.config.num_partitions);
+      }
+      // Algorithm 1: the committing batch's CD vector must point at the
+      // partner's prepare batch.
+      const storage::Batch& batch = log.Get(b).value()->batch;
+      for (const storage::PreparedInfo& info : rec.participant_info) {
+        if (info.partition == 0) continue;
+        EXPECT_GE(batch.ro.cd_vector.Get(info.partition),
+                  info.prepared_in_batch);
+      }
+      // The LCE equals the prepare batch at this partition.
+      EXPECT_EQ(batch.ro.lce, rec.prepared_in_batch);
+    }
+  }
+  EXPECT_TRUE(found) << "commit record not found in partition 0 log";
+}
+
+TEST(TwoPcTest, PrepareGroupsCommitInOrder) {
+  // Definition 4.1: commit records appear in prepare-batch order in every
+  // log, never interleaved out of order.
+  Fixture fx(3, /*seed=*/11);
+  std::vector<Client*> clients;
+  for (int i = 0; i < 8; ++i) clients.push_back(fx.system->AddClient());
+
+  int done = 0;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    for (size_t i = 0; i < clients.size(); ++i) {
+      Key a = fx.KeyIn(0, i * 2);
+      Key b = fx.KeyIn(1, i * 2);
+      clients[i]->ExecuteReadWrite(
+          {}, {WriteOp{a, ToBytes("a")}, WriteOp{b, ToBytes("b")}},
+          [&](RwResult) { ++done; });
+    }
+  });
+  fx.system->env().RunUntil(sim::Seconds(10));
+  EXPECT_EQ(done, 8);
+
+  for (PartitionId p = 0; p < fx.config.num_partitions; ++p) {
+    const auto& log = fx.system->node(p, 0)->log();
+    BatchId last_group = kNoBatch;
+    for (BatchId b = 0; b <= log.LastBatchId(); ++b) {
+      for (const storage::CommitRecord& rec :
+           log.Get(b).value()->batch.committed) {
+        EXPECT_GE(rec.prepared_in_batch, last_group)
+            << "partition " << p << " batch " << b;
+        last_group = rec.prepared_in_batch;
+      }
+    }
+  }
+}
+
+TEST(TwoPcTest, LceIsMonotonicallyNonDecreasing) {
+  Fixture fx(3, /*seed=*/13);
+  std::vector<Client*> clients;
+  for (int i = 0; i < 6; ++i) clients.push_back(fx.system->AddClient());
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i]->ExecuteReadWrite(
+          {}, {WriteOp{fx.KeyIn(0, i), ToBytes("a")},
+               WriteOp{fx.KeyIn(2, i), ToBytes("c")}},
+          [](RwResult) {});
+    }
+  });
+  fx.system->env().RunUntil(sim::Seconds(8));
+
+  for (PartitionId p = 0; p < fx.config.num_partitions; ++p) {
+    const auto& log = fx.system->node(p, 0)->log();
+    BatchId last_lce = kNoBatch;
+    for (BatchId b = 0; b <= log.LastBatchId(); ++b) {
+      BatchId lce = log.Get(b).value()->batch.ro.lce;
+      EXPECT_GE(lce, last_lce) << "partition " << p << " batch " << b;
+      last_lce = lce;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transedge

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/partition_map.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+#include "workload/stats.h"
+
+namespace transedge::workload {
+namespace {
+
+WorkloadOptions SmallOptions() {
+  WorkloadOptions opts;
+  opts.num_keys = 500;
+  opts.value_size = 16;
+  return opts;
+}
+
+TEST(KeySpaceTest, AllKeysMaterializedWithValues) {
+  KeySpace keys(SmallOptions(), 5);
+  auto data = keys.InitialData();
+  EXPECT_EQ(data.size(), 500u);
+  std::set<Key> distinct;
+  for (const auto& [key, value] : data) {
+    distinct.insert(key);
+    EXPECT_EQ(value.size(), 16u);
+  }
+  EXPECT_EQ(distinct.size(), 500u);
+}
+
+TEST(KeySpaceTest, InitialDataIsDeterministic) {
+  KeySpace a(SmallOptions(), 5);
+  KeySpace b(SmallOptions(), 5);
+  EXPECT_EQ(a.InitialData(), b.InitialData());
+}
+
+TEST(KeySpaceTest, RandomKeyInRespectsPartition) {
+  KeySpace keys(SmallOptions(), 4);
+  storage::PartitionMap pmap(4);
+  Rng rng(1);
+  for (PartitionId p = 0; p < 4; ++p) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(pmap.OwnerOf(keys.RandomKeyIn(p, &rng)), p);
+    }
+  }
+}
+
+TEST(PlanGeneratorTest, ReadWriteSpansRequestedClusters) {
+  KeySpace keys(SmallOptions(), 5);
+  PlanGenerator gen(&keys, 5);
+  storage::PartitionMap pmap(5);
+  Rng rng(9);
+  for (int clusters = 1; clusters <= 5; ++clusters) {
+    TxnPlan plan = gen.MakeReadWrite(5, 3, clusters, &rng);
+    EXPECT_EQ(plan.read_keys.size(), 5u);
+    EXPECT_EQ(plan.writes.size(), 3u);
+    std::set<PartitionId> touched;
+    for (const Key& k : plan.read_keys) touched.insert(pmap.OwnerOf(k));
+    for (const WriteOp& w : plan.writes) touched.insert(pmap.OwnerOf(w.key));
+    EXPECT_LE(touched.size(), static_cast<size_t>(clusters));
+    if (clusters <= 5) {
+      // 8 ops over `clusters` clusters round-robin touches all of them.
+      EXPECT_EQ(touched.size(), static_cast<size_t>(clusters));
+    }
+  }
+}
+
+TEST(PlanGeneratorTest, LocalPlanTouchesOneCluster) {
+  KeySpace keys(SmallOptions(), 5);
+  PlanGenerator gen(&keys, 5);
+  storage::PartitionMap pmap(5);
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    TxnPlan plan = gen.MakeLocalReadWrite(3, 2, &rng);
+    std::set<PartitionId> touched;
+    for (const Key& k : plan.read_keys) touched.insert(pmap.OwnerOf(k));
+    for (const WriteOp& w : plan.writes) touched.insert(pmap.OwnerOf(w.key));
+    EXPECT_EQ(touched.size(), 1u);
+  }
+}
+
+TEST(PlanGeneratorTest, ReadOnlyKeysAreUniqueAndSpread) {
+  KeySpace keys(SmallOptions(), 5);
+  PlanGenerator gen(&keys, 5);
+  storage::PartitionMap pmap(5);
+  Rng rng(9);
+  TxnPlan plan = gen.MakeReadOnly(5, 5, &rng);
+  EXPECT_EQ(plan.kind, TxnPlan::Kind::kReadOnly);
+  EXPECT_EQ(plan.read_keys.size(), 5u);
+  std::set<Key> unique(plan.read_keys.begin(), plan.read_keys.end());
+  EXPECT_EQ(unique.size(), 5u);
+  std::set<PartitionId> touched;
+  for (const Key& k : plan.read_keys) touched.insert(pmap.OwnerOf(k));
+  EXPECT_EQ(touched.size(), 5u);  // 1 key per cluster.
+}
+
+TEST(PlanGeneratorTest, WriteOnlyHasNoReads) {
+  KeySpace keys(SmallOptions(), 3);
+  PlanGenerator gen(&keys, 3);
+  Rng rng(5);
+  TxnPlan plan = gen.MakeWriteOnly(3, &rng);
+  EXPECT_TRUE(plan.read_keys.empty());
+  EXPECT_EQ(plan.writes.size(), 3u);
+}
+
+// --- LatencyStats -------------------------------------------------------------
+
+TEST(LatencyStatsTest, SummariesAreCorrect) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Record(sim::Millis(i));
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_NEAR(stats.MeanMs(), 50.5, 0.01);
+  EXPECT_NEAR(stats.P50Ms(), 50.5, 1.0);
+  EXPECT_NEAR(stats.P99Ms(), 99.0, 1.1);
+  EXPECT_NEAR(stats.MaxMs(), 100.0, 0.01);
+}
+
+TEST(LatencyStatsTest, RecordAfterQueryResorts) {
+  LatencyStats stats;
+  stats.Record(sim::Millis(10));
+  EXPECT_NEAR(stats.MaxMs(), 10.0, 0.01);
+  stats.Record(sim::Millis(50));
+  EXPECT_NEAR(stats.MaxMs(), 50.0, 0.01);
+}
+
+TEST(LatencyStatsTest, EmptyIsZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.MeanMs(), 0.0);
+  EXPECT_EQ(stats.P99Ms(), 0.0);
+}
+
+// --- Runner end-to-end ----------------------------------------------------------
+
+TEST(RunnerTest, ClosedLoopDrivesThroughput) {
+  core::SystemConfig config;
+  config.num_partitions = 2;
+  config.f = 1;
+  config.batch_interval = sim::Millis(5);
+  config.merkle_depth = 8;
+  sim::EnvironmentOptions env_opts;
+  env_opts.seed = 17;
+  env_opts.inter_site_latency = sim::Millis(1);
+  core::System system(config, env_opts);
+  WorkloadOptions wopts = SmallOptions();
+  KeySpace keys(wopts, 2);
+  PlanGenerator plans(&keys, 2);
+  system.Preload(keys.InitialData());
+  system.Start();
+
+  ClosedLoopRunner runner(
+      &system, 10,
+      [&](Rng* rng) { return plans.MakeLocalReadWrite(1, 1, rng); },
+      RoMode::kTransEdge, 55);
+  runner.Start(sim::Millis(200), sim::Seconds(3));
+  runner.RunToCompletion();
+
+  EXPECT_GT(runner.stats().rw_committed, 100u);
+  EXPECT_GT(runner.ThroughputTps(), 100.0);
+  EXPECT_EQ(runner.stats().timeouts, 0u);
+  EXPECT_FALSE(runner.stats().rw_latency.empty());
+}
+
+TEST(RunnerTest, ReadOnlyModeCollectsRoStats) {
+  core::SystemConfig config;
+  config.num_partitions = 2;
+  config.f = 1;
+  config.batch_interval = sim::Millis(5);
+  config.merkle_depth = 8;
+  sim::EnvironmentOptions env_opts;
+  env_opts.seed = 19;
+  env_opts.inter_site_latency = sim::Millis(1);
+  core::System system(config, env_opts);
+  WorkloadOptions wopts = SmallOptions();
+  KeySpace keys(wopts, 2);
+  PlanGenerator plans(&keys, 2);
+  system.Preload(keys.InitialData());
+  system.Start();
+
+  ClosedLoopRunner runner(
+      &system, 5, [&](Rng* rng) { return plans.MakeReadOnly(2, 2, rng); },
+      RoMode::kTransEdge, 55);
+  runner.Start(sim::Millis(200), sim::Seconds(2));
+  runner.RunToCompletion();
+
+  EXPECT_GT(runner.stats().ro_completed, 50u);
+  EXPECT_EQ(runner.stats().ro_failures, 0u);
+  EXPECT_FALSE(runner.stats().ro_latency.empty());
+  EXPECT_FALSE(runner.stats().ro_round1_latency.empty());
+}
+
+}  // namespace
+}  // namespace transedge::workload
