@@ -9,6 +9,7 @@
 // in simulated time and are fully deterministic for a given seed.
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -128,6 +129,14 @@ struct World {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// True when TRANSEDGE_SMOKE is set (and not "0"): benches shrink their
+/// sweeps/durations and emit machine-readable JSON so bench/run_smoke.sh
+/// can seed the BENCH_*.json perf trajectory cheaply.
+inline bool SmokeMode() {
+  const char* v = std::getenv("TRANSEDGE_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
 }  // namespace transedge::bench

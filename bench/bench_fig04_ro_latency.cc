@@ -16,7 +16,8 @@ struct Point {
   uint64_t completed = 0;
 };
 
-Point RunOne(workload::RoMode mode, int clusters, uint64_t seed) {
+Point RunOne(workload::RoMode mode, int clusters, uint64_t seed,
+             sim::Time stop = sim::Seconds(5)) {
   BenchSetup setup = BenchSetup::PaperDefaults(seed);
   World world(setup);
 
@@ -35,8 +36,7 @@ Point RunOne(workload::RoMode mode, int clusters, uint64_t seed) {
       },
       mode, seed ^ 0xcc);
 
-  sim::Time warmup = sim::Millis(500);
-  sim::Time stop = sim::Seconds(5);
+  sim::Time warmup = std::min<sim::Time>(sim::Millis(500), stop / 4);
   background.Start(warmup, stop);
   ro.Start(warmup, stop);
   ro.RunToCompletion();
@@ -50,6 +50,29 @@ Point RunOne(workload::RoMode mode, int clusters, uint64_t seed) {
 }  // namespace
 
 int main() {
+  if (SmokeMode()) {
+    // Tiny deterministic run (reduced sweep, short window) whose JSON
+    // output seeds the perf trajectory; see bench/run_smoke.sh.
+    std::printf("{\"bench\":\"fig04_ro_latency\",\"smoke\":true,\"points\":[");
+    bool first = true;
+    for (int clusters : {1, 5}) {
+      Point baseline = RunOne(workload::RoMode::kRegular2pc, clusters, 42,
+                              sim::Millis(600));
+      Point transedge = RunOne(workload::RoMode::kTransEdge, clusters, 42,
+                               sim::Millis(600));
+      std::printf(
+          "%s{\"clusters\":%d,\"bft2pc_ms\":%.3f,\"transedge_ms\":%.3f,"
+          "\"bft2pc_completed\":%llu,\"transedge_completed\":%llu}",
+          first ? "" : ",", clusters, baseline.latency_ms,
+          transedge.latency_ms,
+          static_cast<unsigned long long>(baseline.completed),
+          static_cast<unsigned long long>(transedge.completed));
+      first = false;
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
   PrintHeader("Figure 4: read-only txn latency, 2PC/BFT vs TransEdge");
   std::printf("%-9s %14s %14s %9s\n", "clusters", "2PC/BFT(ms)",
               "TransEdge(ms)", "speedup");

@@ -1,0 +1,56 @@
+#ifndef TRANSEDGE_CORE_AUGUSTUS_BASELINE_H_
+#define TRANSEDGE_CORE_AUGUSTUS_BASELINE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/node_context.h"
+#include "core/ro_lock_table.h"
+#include "wire/message.h"
+
+namespace transedge::core {
+
+/// Augustus-style locking read-only baseline (Figures 5–7, Table 1):
+/// shared read locks plus replica voting. The lock table interferes with
+/// read-write admission through a hook the batch pipeline queries;
+/// TransEdge's own read-only path never takes locks.
+class AugustusBaseline {
+ public:
+  struct Stats {
+    uint64_t augustus_ro_served = 0;
+  };
+
+  explicit AugustusBaseline(NodeContext* ctx);
+
+  void HandleRoRequest(sim::ActorId from, const wire::AugustusRoRequest& msg);
+  void HandleVoteRequest(sim::ActorId from,
+                         const wire::AugustusVoteRequest& msg);
+  void HandleVoteReply(sim::ActorId from, const wire::AugustusVoteReply& msg);
+  void HandleRelease(sim::ActorId from, const wire::AugustusRelease& msg);
+
+  /// True if any key in `txn`'s write set is share-locked (Table 1's
+  /// interference with read-write admission).
+  bool BlocksWriter(const Transaction& txn) const {
+    return lock_table_.BlocksWriter(txn);
+  }
+
+  const RoLockTable& lock_table() const { return lock_table_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    sim::ActorId client = 0;
+    std::vector<Key> keys;
+    uint32_t votes = 0;
+    bool replied = false;
+  };
+
+  NodeContext* ctx_;
+  RoLockTable lock_table_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  Stats stats_;
+};
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_AUGUSTUS_BASELINE_H_

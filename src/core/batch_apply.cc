@@ -1,0 +1,24 @@
+#include "core/batch_apply.h"
+
+namespace transedge::core {
+
+void ApplyBatchWritesToTree(merkle::MerkleTree* tree,
+                            const storage::PartitionMap& pmap,
+                            PartitionId self, const storage::Batch& batch,
+                            const txn::PreparedBatches& pending) {
+  for (const Transaction& t : batch.local) {
+    for (const WriteOp& w : pmap.WritesFor(t, self)) {
+      tree->Put(w.key, w.value, batch.id);
+    }
+  }
+  for (const storage::CommitRecord& rec : batch.committed) {
+    if (!rec.committed) continue;
+    const Transaction* t = pending.FindTxn(rec.txn_id);
+    if (t == nullptr) continue;
+    for (const WriteOp& w : pmap.WritesFor(*t, self)) {
+      tree->Put(w.key, w.value, batch.id);
+    }
+  }
+}
+
+}  // namespace transedge::core

@@ -1,0 +1,22 @@
+#ifndef TRANSEDGE_CORE_BATCH_APPLY_H_
+#define TRANSEDGE_CORE_BATCH_APPLY_H_
+
+#include "merkle/merkle_tree.h"
+#include "storage/batch.h"
+#include "storage/partition_map.h"
+#include "txn/prepared_batches.h"
+
+namespace transedge::core {
+
+/// Applies the writes a batch commits (local transactions + committed
+/// distributed transactions) to `tree`, restricted to partition `self`'s
+/// keys. Write sets of commit records are resolved through `pending`.
+/// Shared by the leader's proposal path and replica re-validation.
+void ApplyBatchWritesToTree(merkle::MerkleTree* tree,
+                            const storage::PartitionMap& pmap,
+                            PartitionId self, const storage::Batch& batch,
+                            const txn::PreparedBatches& pending);
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_BATCH_APPLY_H_

@@ -1,0 +1,222 @@
+#include "core/batch_pipeline.h"
+
+#include <utility>
+
+#include "core/batch_apply.h"
+#include "core/cd_vector.h"
+
+namespace transedge::core {
+
+BatchPipeline::BatchPipeline(NodeContext* ctx, Hooks hooks)
+    : ctx_(ctx), hooks_(std::move(hooks)) {}
+
+void BatchPipeline::OnStart() {
+  // Every replica runs the batch timer; only the current leader acts on
+  // it. That way a freshly elected leader starts batching immediately.
+  ctx_->Schedule(ctx_->config().batch_interval, [this] { OnBatchTimer(); });
+  // The genesis batch certifies the preloaded state right away so that
+  // read-only transactions have a certificate to verify against.
+  if (ctx_->byzantine() != ByzantineBehavior::kCrash && ShouldPropose()) {
+    ProposeBatch();
+  }
+}
+
+void BatchPipeline::OnBatchTimer() {
+  if (ctx_->byzantine() != ByzantineBehavior::kCrash) {
+    if (ShouldPropose()) ProposeBatch();
+  }
+  ctx_->Schedule(ctx_->config().batch_interval, [this] { OnBatchTimer(); });
+}
+
+bool BatchPipeline::ShouldPropose() const {
+  if (!ctx_->IsLeader() || proposing_) return false;
+  if (ctx_->mutable_log().empty()) {
+    return true;  // Genesis batch, certifies preload state.
+  }
+  if (!inprog_local_.empty() || !inprog_prepared_.empty()) return true;
+  if (ctx_->prepared_batches().OldestReady()) return true;
+  return false;
+}
+
+void BatchPipeline::MaybeProposeOnSize() {
+  if (ctx_->IsLeader() && !proposing_ &&
+      in_progress_size() >= ctx_->config().max_batch_size) {
+    ProposeBatch();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+Status BatchPipeline::AdmitCheck(const Transaction& txn) {
+  // Rule 1 of Definition 3.1 applies to the keys this partition owns.
+  Transaction restricted = ctx_->RestrictToPartition(txn);
+  TE_RETURN_IF_ERROR(ctx_->validator().CheckAgainstStore(restricted));
+  // Rules 2 and 3 use the full footprint: a conflict on a remote key is a
+  // conflict the remote partition would reject anyway; catching it here
+  // aborts earlier and keeps prepare groups conflict-free.
+  if (inprog_index_.ConflictsWith(txn)) {
+    return Status::Conflict("conflicts with in-progress batch");
+  }
+  if (ctx_->pending_footprint().ConflictsWith(txn)) {
+    return Status::Conflict("conflicts with a prepared transaction");
+  }
+  // Augustus baseline: shared read locks block writers (Table 1's
+  // interference). TransEdge's own read-only path never takes locks.
+  if (!txn.write_set.empty() && hooks_.ro_locks_block_writer(restricted)) {
+    ++stats_.rw_aborted_by_ro_locks;
+    return Status::Conflict("write key is read-locked (Augustus baseline)");
+  }
+  return Status::OK();
+}
+
+void BatchPipeline::HandleCommitRequest(sim::ActorId from,
+                                        const wire::CommitRequest& msg) {
+  sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
+  const Transaction& txn = msg.txn;
+  if (seen_txns_.count(txn.id) > 0) return;  // Duplicate / retry.
+
+  sim::Time done = ctx_->Charge(ctx_->config().cost.admit_per_txn);
+  Status admit = AdmitCheck(txn);
+
+  if (txn.IsLocal()) {
+    if (!admit.ok()) {
+      ++stats_.local_aborted;
+      ctx_->ReplyCommit(client, txn.id, false, admit.message(), done);
+      return;
+    }
+    seen_txns_.insert(txn.id);
+    inprog_local_.push_back(txn);
+    inprog_index_.Add(txn);
+    local_waiting_clients_[txn.id] = client;
+  } else {
+    if (txn.coordinator != ctx_->partition()) {
+      ctx_->ReplyCommit(client, txn.id, false, "wrong coordinator cluster",
+                        done);
+      return;
+    }
+    if (!admit.ok()) {
+      ++stats_.dist_aborted;
+      ctx_->ReplyCommit(client, txn.id, false, admit.message(), done);
+      return;
+    }
+    seen_txns_.insert(txn.id);
+    inprog_prepared_.push_back(txn);
+    inprog_index_.Add(txn);
+    hooks_.begin_coordination(txn, client);
+  }
+
+  MaybeProposeOnSize();
+}
+
+Status BatchPipeline::AdmitPrepared(const Transaction& txn) {
+  if (seen_txns_.count(txn.id) > 0) {
+    return Status::AlreadyExists("duplicate coordinator prepare");
+  }
+  seen_txns_.insert(txn.id);
+  ctx_->Charge(ctx_->config().cost.admit_per_txn);
+  TE_RETURN_IF_ERROR(AdmitCheck(txn));
+  inprog_prepared_.push_back(txn);
+  inprog_index_.Add(txn);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Batch building
+// ---------------------------------------------------------------------------
+
+storage::Batch BatchPipeline::BuildBatch() {
+  const storage::SmrLog& log = ctx_->mutable_log();
+  storage::Batch batch;
+  batch.partition = ctx_->partition();
+  batch.id = log.LastBatchId() + 1;
+  batch.local = std::move(inprog_local_);
+  batch.prepared = std::move(inprog_prepared_);
+  inprog_local_.clear();
+  inprog_prepared_.clear();
+
+  // Committed segment: the ready prefix of prepare groups, in prepare
+  // order (Definition 4.1).
+  BatchId lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
+  CdVector cd = log.empty() ? CdVector(ctx_->config().num_partitions)
+                            : log.back().batch.ro.cd_vector;
+  if (cd.empty()) cd = CdVector(ctx_->config().num_partitions);
+
+  for (const txn::PrepareGroup* group :
+       ctx_->prepared_batches().ReadyPrefix()) {
+    for (const txn::PendingTxn& pending : group->txns) {
+      storage::CommitRecord rec;
+      rec.txn_id = pending.txn.id;
+      rec.committed = pending.state == txn::PendingTxn::State::kCommitted;
+      rec.prepared_in_batch = group->prepared_in_batch;
+      rec.participant_info = pending.participant_info;
+      batch.committed.push_back(std::move(rec));
+    }
+    lce = group->prepared_in_batch;
+  }
+
+  // Algorithm 1: derive the CD vector from the previous batch's vector
+  // and the CD vectors reported in the prepared messages of every commit
+  // record in the committed segment.
+  for (const storage::CommitRecord& rec : batch.committed) {
+    if (!rec.committed) continue;  // Aborts introduce no dependencies.
+    for (const storage::PreparedInfo& info : rec.participant_info) {
+      if (info.cd_vector.size() == cd.size()) cd.PairwiseMax(info.cd_vector);
+    }
+  }
+  cd.Set(ctx_->partition(), batch.id);
+
+  batch.ro.cd_vector = std::move(cd);
+  batch.ro.lce = lce;
+  batch.ro.timestamp_us = ctx_->now();
+  return batch;
+}
+
+void BatchPipeline::ProposeBatch() {
+  proposing_ = true;
+  storage::Batch batch = BuildBatch();
+  size_t batch_size = batch.TotalTransactions();
+  ctx_->Charge(
+      ctx_->BatchComputeCost(batch_size, ctx_->config().cost.admit_per_txn / 4) +
+      ctx_->config().cost.signature_op);
+
+  // Compute the post-state Merkle root on a structural-sharing clone.
+  merkle::MerkleTree post_tree = ctx_->mutable_tree().Clone();
+  ApplyBatchWritesToTree(&post_tree, ctx_->partition_map(), ctx_->partition(),
+                         batch, ctx_->prepared_batches());
+  batch.ro.merkle_root = post_tree.RootDigest();
+
+  hooks_.propose(std::move(batch), std::move(post_tree));
+}
+
+// ---------------------------------------------------------------------------
+// Post-apply / view-change bookkeeping
+// ---------------------------------------------------------------------------
+
+void BatchPipeline::OnBatchApplied(const storage::Batch& logged) {
+  if (!ctx_->IsLeader()) return;
+  for (const Transaction& t : logged.local) inprog_index_.Remove(t);
+  for (const Transaction& t : logged.prepared) inprog_index_.Remove(t);
+  proposing_ = false;
+
+  // Local transactions are now committed — answer clients.
+  sim::Time at = ctx_->busy_until();
+  for (const Transaction& t : logged.local) {
+    auto it = local_waiting_clients_.find(t.id);
+    if (it != local_waiting_clients_.end()) {
+      ++stats_.local_committed;
+      ctx_->ReplyCommit(it->second, t.id, true, "", at);
+      local_waiting_clients_.erase(it);
+    }
+  }
+}
+
+void BatchPipeline::OnViewChange() {
+  proposing_ = false;
+  inprog_local_.clear();
+  inprog_prepared_.clear();
+  inprog_index_ = FootprintIndex();
+}
+
+}  // namespace transedge::core

@@ -1,0 +1,98 @@
+#ifndef TRANSEDGE_CORE_BATCH_PIPELINE_H_
+#define TRANSEDGE_CORE_BATCH_PIPELINE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/node_context.h"
+#include "storage/batch.h"
+#include "wire/message.h"
+
+namespace transedge::core {
+
+/// Leader-side admission and batching (Definition 3.1, Figure 2): the
+/// in-progress transaction queues, the conflict footprint of everything
+/// in flight, batch construction (including the committed segment, LCE,
+/// and CD vector of the read-only segment), and the timer/size proposal
+/// triggers.
+///
+/// The pipeline never talks to consensus or 2PC directly: a built batch
+/// leaves through the `propose` hook, and distributed transactions that
+/// pass admission are handed to `begin_coordination`.
+class BatchPipeline {
+ public:
+  struct Stats {
+    uint64_t local_committed = 0;
+    uint64_t local_aborted = 0;
+    uint64_t dist_aborted = 0;
+    uint64_t rw_aborted_by_ro_locks = 0;  // Augustus interference (Table 1).
+  };
+
+  struct Hooks {
+    /// Hands a freshly built batch (and its post-state tree) to consensus.
+    std::function<void(storage::Batch, merkle::MerkleTree)> propose;
+    /// A distributed transaction passed admission with us as coordinator.
+    std::function<void(const Transaction&, sim::ActorId)> begin_coordination;
+    /// Augustus-baseline interference: true if a shared read lock blocks
+    /// this (partition-restricted) writer.
+    std::function<bool(const Transaction&)> ro_locks_block_writer;
+  };
+
+  BatchPipeline(NodeContext* ctx, Hooks hooks);
+
+  /// Arms the batch timer and proposes the genesis batch when leader.
+  void OnStart();
+
+  /// Client commit request (leader only; the node routes).
+  void HandleCommitRequest(sim::ActorId from, const wire::CommitRequest& msg);
+
+  /// 2PC participant path: admission for a transaction another cluster
+  /// coordinates. Marks the transaction seen and, on success, enqueues it
+  /// for the next batch. AlreadyExists for duplicates.
+  Status AdmitPrepared(const Transaction& txn);
+
+  /// 2PC dedup across commit requests and coordinator prepares.
+  bool AlreadySeen(TxnId txn_id) const { return seen_txns_.count(txn_id) > 0; }
+
+  /// Proposes when the in-progress batch reached the size trigger.
+  void MaybeProposeOnSize();
+
+  /// Post-apply bookkeeping for a decided batch `logged` (leader only):
+  /// releases footprints, answers local clients, re-arms proposing.
+  void OnBatchApplied(const storage::Batch& logged);
+
+  /// A new view was adopted: abandon undecided admissions.
+  void OnViewChange();
+
+  size_t in_progress_size() const {
+    return inprog_local_.size() + inprog_prepared_.size();
+  }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void OnBatchTimer();
+  bool ShouldPropose() const;
+  void ProposeBatch();
+  storage::Batch BuildBatch();
+
+  /// Definition 3.1 admission check for `txn` (full footprint; store
+  /// checks restricted to this partition's keys).
+  Status AdmitCheck(const Transaction& txn);
+
+  NodeContext* ctx_;
+  Hooks hooks_;
+
+  std::vector<Transaction> inprog_local_;
+  std::vector<Transaction> inprog_prepared_;
+  FootprintIndex inprog_index_;  // In-progress + in-flight batches.
+  std::unordered_map<TxnId, sim::ActorId> local_waiting_clients_;
+  std::unordered_set<TxnId> seen_txns_;  // 2PC dedup.
+  bool proposing_ = false;
+  Stats stats_;
+};
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_BATCH_PIPELINE_H_

@@ -1,0 +1,408 @@
+#include "core/consensus_engine.h"
+
+#include <utility>
+
+#include "core/batch_apply.h"
+
+namespace transedge::core {
+
+namespace {
+
+/// Bytes signed by the leader over a proposed batch.
+Bytes DigestSignPayload(const crypto::Digest& digest) {
+  Encoder enc;
+  enc.PutString("transedge-batch-proposal");
+  enc.PutRaw(digest.bytes.data(), digest.bytes.size());
+  return enc.Take();
+}
+
+size_t CountMatching(const std::map<crypto::NodeId, crypto::Digest>& votes,
+                     const crypto::Digest& digest) {
+  size_t n = 0;
+  for (const auto& [node, d] : votes) {
+    if (d == digest) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+ConsensusEngine::ConsensusEngine(NodeContext* ctx, Hooks hooks)
+    : ctx_(ctx), hooks_(std::move(hooks)) {}
+
+void ConsensusEngine::Propose(storage::Batch batch,
+                              merkle::MerkleTree post_tree) {
+  const SystemConfig& config = ctx_->config();
+  auto [it, inserted] = instances_.try_emplace(batch.id, config.merkle_depth);
+  ConsensusInstance& inst = it->second;
+  inst.has_batch = true;
+  inst.post_tree = std::move(post_tree);
+  inst.digest = batch.ComputeDigest();
+  inst.batch = batch;
+  inst.validated = true;
+
+  // Leader's own certificate share doubles as its prepare vote.
+  storage::BatchCertificate payload;
+  payload.partition = ctx_->partition();
+  payload.batch_id = batch.id;
+  payload.batch_digest = inst.digest;
+  payload.merkle_root = batch.ro.merkle_root;
+  payload.ro_digest = batch.ro.ComputeDigest();
+  crypto::Signature share = ctx_->Sign(payload.SignedPayload());
+  inst.prepare_votes[ctx_->id()] = inst.digest;
+  inst.cert_shares[ctx_->id()] = share;
+  inst.sent_prepare = true;
+
+  wire::PrePrepareMsg msg;
+  msg.view = view_;
+  msg.batch = std::move(batch);
+  msg.leader_signature = ctx_->Sign(DigestSignPayload(inst.digest));
+  msg.leader_cert_share = share;
+
+  if (config.simulate_shared_merkle) {
+    msg.post_snapshot = inst.post_tree.GetSnapshot();
+  }
+
+  sim::Time done = ctx_->busy_until();
+  if (ctx_->byzantine() == ByzantineBehavior::kEquivocate) {
+    // Send a conflicting variant to half the cluster: same transactions,
+    // different timestamp => different digest. Neither variant can gather
+    // a quorum of matching votes.
+    wire::PrePrepareMsg alt = msg;
+    alt.batch.ro.timestamp_us += 1;
+    crypto::Digest alt_digest = alt.batch.ComputeDigest();
+    alt.leader_signature = ctx_->Sign(DigestSignPayload(alt_digest));
+    storage::BatchCertificate alt_payload = payload;
+    alt_payload.batch_digest = alt_digest;
+    alt_payload.ro_digest = alt.batch.ro.ComputeDigest();
+    alt.leader_cert_share = ctx_->Sign(alt_payload.SignedPayload());
+    auto shared_main = ShareMsg(std::move(msg));
+    auto shared_alt = ShareMsg(std::move(alt));
+    bool flip = false;
+    for (crypto::NodeId member : ctx_->cluster_members()) {
+      if (member == ctx_->id()) continue;
+      ctx_->Send(member, flip ? shared_alt : shared_main, done);
+      flip = !flip;
+    }
+    return;
+  }
+
+  ctx_->BroadcastToCluster(ShareMsg(std::move(msg)), done);
+  StartViewChangeTimer(inst.batch.id);
+}
+
+void ConsensusEngine::HandlePrePrepare(sim::ActorId from,
+                                       const wire::PrePrepareMsg& msg) {
+  if (msg.view != view_) return;
+  if (from != ctx_->config().LeaderOf(ctx_->partition(), view_)) return;
+  BatchId id = msg.batch.id;
+  if (id <= ctx_->mutable_log().LastBatchId()) return;  // Already decided.
+
+  auto [it, inserted] = instances_.try_emplace(id, ctx_->config().merkle_depth);
+  ConsensusInstance& inst = it->second;
+  if (inst.has_batch) return;  // First proposal wins; duplicates ignored.
+
+  crypto::Digest digest = msg.batch.ComputeDigest();
+  if (!ctx_->verifier().Verify(DigestSignPayload(digest),
+                               msg.leader_signature) ||
+      msg.leader_signature.signer != from) {
+    return;  // Forged or corrupted proposal.
+  }
+  inst.has_batch = true;
+  inst.batch = msg.batch;
+  inst.digest = digest;
+  inst.adopted_snapshot = msg.post_snapshot;
+  inst.prepare_votes[from] = digest;
+  inst.cert_shares[from] = msg.leader_cert_share;
+
+  StartViewChangeTimer(id);
+  AdvanceConsensus();
+}
+
+void ConsensusEngine::HandlePrepare(sim::ActorId from,
+                                    const wire::PrepareMsg& msg) {
+  if (msg.view != view_) return;
+  if (msg.batch_id <= ctx_->mutable_log().LastBatchId()) return;
+  auto [it, inserted] =
+      instances_.try_emplace(msg.batch_id, ctx_->config().merkle_depth);
+  it->second.prepare_votes[from] = msg.batch_digest;
+  it->second.cert_shares[from] = msg.cert_share;
+  AdvanceConsensus();
+}
+
+void ConsensusEngine::HandleCommit(sim::ActorId from,
+                                   const wire::CommitMsg& msg) {
+  if (msg.view != view_) return;
+  if (msg.batch_id <= ctx_->mutable_log().LastBatchId()) return;
+  auto [it, inserted] =
+      instances_.try_emplace(msg.batch_id, ctx_->config().merkle_depth);
+  it->second.commit_votes[from] = msg.batch_digest;
+  AdvanceConsensus();
+}
+
+void ConsensusEngine::AdvanceConsensus() {
+  const SystemConfig& config = ctx_->config();
+  BatchId next = ctx_->mutable_log().LastBatchId() + 1;
+  auto it = instances_.find(next);
+  if (it == instances_.end()) return;
+  ConsensusInstance& inst = it->second;
+  if (!inst.has_batch) return;
+
+  if (!inst.validated && !inst.validation_failed) {
+    Status s = ValidateProposedBatch(&inst);
+    if (!s.ok()) {
+      // A correct replica stays silent on an invalid proposal; the
+      // progress timer will trigger a view change.
+      inst.validation_failed = true;
+      return;
+    }
+    inst.validated = true;
+  }
+  if (inst.validation_failed) return;
+
+  if (!inst.sent_prepare) {
+    storage::BatchCertificate payload;
+    payload.partition = ctx_->partition();
+    payload.batch_id = inst.batch.id;
+    payload.batch_digest = inst.digest;
+    payload.merkle_root = inst.batch.ro.merkle_root;
+    payload.ro_digest = inst.batch.ro.ComputeDigest();
+    crypto::Signature share = ctx_->Sign(payload.SignedPayload());
+    inst.prepare_votes[ctx_->id()] = inst.digest;
+    inst.cert_shares[ctx_->id()] = share;
+    inst.sent_prepare = true;
+
+    wire::PrepareMsg msg;
+    msg.view = view_;
+    msg.batch_id = inst.batch.id;
+    msg.batch_digest = inst.digest;
+    msg.cert_share = share;
+    ctx_->BroadcastToCluster(ShareMsg(std::move(msg)),
+                             ctx_->Charge(config.cost.signature_op));
+  }
+
+  if (inst.sent_prepare && !inst.sent_commit &&
+      CountMatching(inst.prepare_votes, inst.digest) >= config.quorum_size()) {
+    inst.commit_votes[ctx_->id()] = inst.digest;
+    inst.sent_commit = true;
+    wire::CommitMsg msg;
+    msg.view = view_;
+    msg.batch_id = inst.batch.id;
+    msg.batch_digest = inst.digest;
+    ctx_->BroadcastToCluster(ShareMsg(std::move(msg)), ctx_->busy_until());
+  }
+
+  if (inst.sent_commit && !inst.decided &&
+      CountMatching(inst.commit_votes, inst.digest) >= config.quorum_size()) {
+    inst.decided = true;
+    storage::BatchCertificate cert = AssembleCertificate(inst);
+    Decided decided{std::move(inst.batch), std::move(cert),
+                    std::move(inst.post_tree)};
+    instances_.erase(it);
+    ++stats_.batches_decided;
+    // The hook applies the batch, drives 2PC / read-only follow-ups, and
+    // re-enters AdvanceConsensus for the next queued instance.
+    hooks_.on_decided(std::move(decided));
+  }
+}
+
+storage::BatchCertificate ConsensusEngine::AssembleCertificate(
+    const ConsensusInstance& inst) const {
+  storage::BatchCertificate cert;
+  cert.partition = ctx_->partition();
+  cert.batch_id = inst.batch.id;
+  cert.batch_digest = inst.digest;
+  cert.merkle_root = inst.batch.ro.merkle_root;
+  cert.ro_digest = inst.batch.ro.ComputeDigest();
+  Bytes payload = cert.SignedPayload();
+  for (const auto& [node, vote_digest] : inst.prepare_votes) {
+    if (cert.signatures.size() >= ctx_->config().certificate_size()) break;
+    if (!(vote_digest == inst.digest)) continue;
+    auto share = inst.cert_shares.find(node);
+    if (share == inst.cert_shares.end()) continue;
+    if (ctx_->verifier().Verify(payload, share->second)) {
+      cert.signatures.Add(share->second);
+    }
+  }
+  return cert;
+}
+
+Status ConsensusEngine::ValidateProposedBatch(ConsensusInstance* inst) {
+  const storage::Batch& batch = inst->batch;
+  const SystemConfig& config = ctx_->config();
+  storage::SmrLog& log = ctx_->mutable_log();
+  txn::PreparedBatches& prepared = ctx_->prepared_batches();
+  if (batch.partition != ctx_->partition()) {
+    return Status::InvalidArgument("batch for wrong partition");
+  }
+  if (batch.id != log.LastBatchId() + 1) {
+    return Status::FailedPrecondition("batch id not next in log");
+  }
+
+  // Freshness window (§4.4.2): a malicious leader cannot timestamp a
+  // batch far from real time.
+  int64_t skew = batch.ro.timestamp_us - ctx_->now();
+  if (skew < -config.freshness_window || skew > config.freshness_window) {
+    return Status::VerificationFailed("batch timestamp outside window");
+  }
+
+  ctx_->Charge(ctx_->BatchComputeCost(batch.TotalTransactions(),
+                                      config.cost.validate_per_txn));
+
+  // Re-run Definition 3.1 on every transaction the leader admitted.
+  FootprintIndex batch_index;
+  auto check = [&](const Transaction& t) -> Status {
+    Transaction restricted = ctx_->RestrictToPartition(t);
+    TE_RETURN_IF_ERROR(ctx_->validator().CheckAgainstStore(restricted));
+    if (batch_index.ConflictsWith(t)) {
+      return Status::Conflict("conflict inside proposed batch");
+    }
+    if (ctx_->pending_footprint().ConflictsWith(t)) {
+      return Status::Conflict("conflict with prepared transaction");
+    }
+    batch_index.Add(t);
+    return Status::OK();
+  };
+  for (const Transaction& t : batch.local) TE_RETURN_IF_ERROR(check(t));
+  for (const Transaction& t : batch.prepared) TE_RETURN_IF_ERROR(check(t));
+
+  // The committed segment must be exactly a ready prefix of our prepare
+  // groups, in Definition 4.1 order.
+  {
+    std::vector<BatchId> group_ids;
+    for (const storage::CommitRecord& rec : batch.committed) {
+      if (group_ids.empty() || group_ids.back() != rec.prepared_in_batch) {
+        group_ids.push_back(rec.prepared_in_batch);
+      }
+      if (prepared.FindTxn(rec.txn_id) == nullptr) {
+        return Status::VerificationFailed(
+            "commit record references unknown transaction");
+      }
+    }
+    for (size_t i = 1; i < group_ids.size(); ++i) {
+      if (group_ids[i - 1] >= group_ids[i]) {
+        return Status::VerificationFailed(
+            "commit records violate prepare-group order");
+      }
+    }
+    if (!group_ids.empty()) {
+      const txn::PrepareGroup* oldest = prepared.Oldest();
+      if (oldest == nullptr || oldest->prepared_in_batch != group_ids.front()) {
+        return Status::VerificationFailed(
+            "committed segment does not start at the oldest prepare group");
+      }
+    }
+  }
+
+  // LCE: must be the prepare-batch id of the last committed group, or
+  // carried forward.
+  BatchId expected_lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
+  if (!batch.committed.empty()) {
+    expected_lce = batch.committed.back().prepared_in_batch;
+  }
+  if (batch.ro.lce != expected_lce) {
+    return Status::VerificationFailed("LCE mismatch");
+  }
+
+  // CD vector: re-run Algorithm 1 and compare.
+  CdVector cd = log.empty() ? CdVector(config.num_partitions)
+                            : log.back().batch.ro.cd_vector;
+  if (cd.empty()) cd = CdVector(config.num_partitions);
+  for (const storage::CommitRecord& rec : batch.committed) {
+    if (!rec.committed) continue;
+    for (const storage::PreparedInfo& info : rec.participant_info) {
+      if (info.cd_vector.size() == cd.size()) cd.PairwiseMax(info.cd_vector);
+    }
+  }
+  cd.Set(ctx_->partition(), batch.id);
+  if (!(cd == batch.ro.cd_vector)) {
+    return Status::VerificationFailed("CD vector mismatch");
+  }
+
+  // Merkle root: replay the writes on a clone and compare roots. Under
+  // the shared-merkle simulation shortcut, adopt the leader's persistent
+  // tree instead of re-hashing identical updates (host-CPU optimization
+  // only; simulated validation cost was charged above).
+  if (config.simulate_shared_merkle && inst->adopted_snapshot.valid()) {
+    if (inst->adopted_snapshot.RootDigest() != batch.ro.merkle_root) {
+      return Status::VerificationFailed("shared merkle root mismatch");
+    }
+    inst->post_tree = merkle::MerkleTree::FromSnapshot(inst->adopted_snapshot);
+  } else {
+    inst->post_tree = ctx_->mutable_tree().Clone();
+    ApplyBatchWritesToTree(&inst->post_tree, ctx_->partition_map(),
+                           ctx_->partition(), batch, prepared);
+    if (inst->post_tree.RootDigest() != batch.ro.merkle_root) {
+      return Status::VerificationFailed("merkle root mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// View changes
+// ---------------------------------------------------------------------------
+
+void ConsensusEngine::StartViewChangeTimer(BatchId batch_id) {
+  uint64_t view_at_start = view_;
+  ctx_->Schedule(ctx_->config().view_change_timeout,
+                 [this, batch_id, view_at_start] {
+                   if (view_ != view_at_start) return;
+                   if (ctx_->mutable_log().LastBatchId() >= batch_id) {
+                     return;  // Decided in time.
+                   }
+                   InitiateViewChange(view_ + 1);
+                 });
+}
+
+void ConsensusEngine::InitiateViewChange(uint64_t new_view) {
+  if (new_view <= view_) return;
+  auto& votes = view_change_votes_[new_view];
+  if (votes.count(ctx_->id()) > 0) return;  // Already voted for this view.
+  votes.insert(ctx_->id());
+
+  wire::ViewChangeMsg msg;
+  msg.new_view = new_view;
+  msg.last_committed = ctx_->mutable_log().LastBatchId();
+  Encoder enc;
+  enc.PutString("transedge-view-change");
+  enc.PutU64(new_view);
+  msg.signature = ctx_->Sign(enc.buffer());
+  ctx_->BroadcastToCluster(ShareMsg(std::move(msg)),
+                           ctx_->Charge(ctx_->config().cost.signature_op));
+  MaybeAdoptView(new_view);
+}
+
+void ConsensusEngine::MaybeAdoptView(uint64_t target) {
+  if (target <= view_) return;
+  auto it = view_change_votes_.find(target);
+  if (it == view_change_votes_.end() ||
+      it->second.size() < ctx_->config().quorum_size()) {
+    return;
+  }
+  view_ = target;
+  ++stats_.view_changes;
+  // Undecided proposals from the old view are abandoned; clients will
+  // retry against the new leader.
+  instances_.clear();
+  view_change_votes_.erase(target);
+  hooks_.on_view_adopted();
+}
+
+void ConsensusEngine::HandleViewChange(sim::ActorId from,
+                                       const wire::ViewChangeMsg& msg) {
+  uint64_t target = msg.new_view;
+  if (target <= view_) return;
+  auto& votes = view_change_votes_[target];
+  votes.insert(from);
+
+  // Join the view change once f+1 replicas demand it (at least one of
+  // them is honest), adopt once 2f+1 do.
+  if (votes.count(ctx_->id()) == 0 && votes.size() > ctx_->config().f) {
+    InitiateViewChange(target);
+    return;
+  }
+  MaybeAdoptView(target);
+}
+
+}  // namespace transedge::core

@@ -1,0 +1,119 @@
+#ifndef TRANSEDGE_CORE_CONSENSUS_ENGINE_H_
+#define TRANSEDGE_CORE_CONSENSUS_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/node_context.h"
+#include "storage/batch.h"
+#include "wire/message.h"
+
+namespace transedge::core {
+
+/// Intra-cluster consensus on batches (§3.2): PBFT-style PrePrepare /
+/// Prepare / Commit voting on one batch at a time, batch re-validation
+/// against Definition 3.1 and the read-only segment rules, certificate
+/// assembly, and view changes.
+///
+/// The engine owns the view number and all in-flight consensus
+/// instances. It never applies state itself: when an instance reaches a
+/// commit quorum it hands the decided batch (plus the assembled f+1
+/// certificate and the post-state Merkle tree) to the `on_decided` hook,
+/// which the hosting node wires to the storage stack and the other
+/// engines.
+class ConsensusEngine {
+ public:
+  struct Stats {
+    uint64_t batches_decided = 0;
+    uint64_t view_changes = 0;
+  };
+
+  /// A batch that reached a commit quorum, ready to be applied.
+  struct Decided {
+    storage::Batch batch;
+    storage::BatchCertificate certificate;
+    merkle::MerkleTree post_tree;
+  };
+
+  struct Hooks {
+    /// Fired exactly once per decided batch, in log order. The handler
+    /// applies the batch and drives all follow-up work (2PC, parked
+    /// read-only requests, re-proposals).
+    std::function<void(Decided)> on_decided;
+    /// Fired after the engine adopts a higher view; the handler resets
+    /// leader-side batching state.
+    std::function<void()> on_view_adopted;
+  };
+
+  ConsensusEngine(NodeContext* ctx, Hooks hooks);
+
+  uint64_t view() const { return view_; }
+
+  /// Leader path: signs and broadcasts `batch` as the next proposal and
+  /// seeds the local instance with the leader's own vote. `post_tree` is
+  /// the batch's post-state tree computed by the batch pipeline.
+  void Propose(storage::Batch batch, merkle::MerkleTree post_tree);
+
+  void HandlePrePrepare(sim::ActorId from, const wire::PrePrepareMsg& msg);
+  void HandlePrepare(sim::ActorId from, const wire::PrepareMsg& msg);
+  void HandleCommit(sim::ActorId from, const wire::CommitMsg& msg);
+  void HandleViewChange(sim::ActorId from, const wire::ViewChangeMsg& msg);
+
+  /// Re-evaluates the instance for the next undecided batch id: validates
+  /// a pending pre-prepare, emits our votes, and decides when quorums are
+  /// reached.
+  void AdvanceConsensus();
+
+  /// Demands progress on `batch_id`: if the log has not reached it when
+  /// the timer fires (in the same view), a view change is initiated.
+  void StartViewChangeTimer(BatchId batch_id);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ConsensusInstance {
+    bool has_batch = false;
+    storage::Batch batch;
+    crypto::Digest digest;
+    bool validated = false;
+    bool validation_failed = false;
+    merkle::MerkleTree post_tree;  // Tree with the batch's writes applied.
+    /// Leader-shared tree (SystemConfig::simulate_shared_merkle).
+    merkle::MerkleTree::Snapshot adopted_snapshot;
+    /// Votes carry the digest the voter saw, so an equivocating leader's
+    /// two batch variants split the vote and neither reaches quorum.
+    std::map<crypto::NodeId, crypto::Digest> prepare_votes;
+    std::map<crypto::NodeId, crypto::Digest> commit_votes;
+    std::map<crypto::NodeId, crypto::Signature> cert_shares;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool decided = false;
+
+    explicit ConsensusInstance(int merkle_depth) : post_tree(merkle_depth) {}
+  };
+
+  /// Definition 3.1 re-validation plus read-only-segment recomputation
+  /// for a proposed batch. On success fills `instance->post_tree` and
+  /// marks it validated.
+  Status ValidateProposedBatch(ConsensusInstance* instance);
+
+  /// Assembles the f+1 certificate from matching vote shares.
+  storage::BatchCertificate AssembleCertificate(
+      const ConsensusInstance& inst) const;
+
+  void InitiateViewChange(uint64_t new_view);
+  void MaybeAdoptView(uint64_t target);
+
+  NodeContext* ctx_;
+  Hooks hooks_;
+
+  uint64_t view_ = 0;
+  std::map<BatchId, ConsensusInstance> instances_;
+  std::map<uint64_t, std::set<crypto::NodeId>> view_change_votes_;
+  Stats stats_;
+};
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_CONSENSUS_ENGINE_H_

@@ -2,81 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "core/augustus_baseline.h"
+#include "core/batch_pipeline.h"
+#include "core/consensus_engine.h"
+#include "core/read_only_service.h"
+#include "core/two_pc_coordinator.h"
 
 namespace transedge::core {
 
-namespace {
-
-/// Bytes signed by the leader over a proposed batch.
-Bytes DigestSignPayload(const crypto::Digest& digest) {
-  Encoder enc;
-  enc.PutString("transedge-batch-proposal");
-  enc.PutRaw(digest.bytes.data(), digest.bytes.size());
-  return enc.Take();
-}
-
-template <typename T>
-std::shared_ptr<const T> Share(T msg) {
-  return std::make_shared<const T>(std::move(msg));
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------------------
-// RoLockTable / FootprintIndex
-// ---------------------------------------------------------------------------
-
-void RoLockTable::Lock(uint64_t request_id, const std::vector<Key>& keys) {
-  for (const Key& k : keys) ++shared_[k];
-  by_request_[request_id] = keys;
-}
-
-void RoLockTable::Release(uint64_t request_id) {
-  auto it = by_request_.find(request_id);
-  if (it == by_request_.end()) return;
-  for (const Key& k : it->second) {
-    auto sit = shared_.find(k);
-    if (sit != shared_.end() && --sit->second <= 0) shared_.erase(sit);
-  }
-  by_request_.erase(it);
-}
-
-bool RoLockTable::BlocksWriter(const Transaction& txn) const {
-  if (shared_.empty()) return false;
-  for (const WriteOp& w : txn.write_set) {
-    if (shared_.count(w.key) > 0) return true;
-  }
-  return false;
-}
-
-void FootprintIndex::Add(const Transaction& txn) {
-  for (const ReadOp& r : txn.read_set) ++readers_[r.key];
-  for (const WriteOp& w : txn.write_set) ++writers_[w.key];
-}
-
-void FootprintIndex::Remove(const Transaction& txn) {
-  for (const ReadOp& r : txn.read_set) {
-    auto it = readers_.find(r.key);
-    if (it != readers_.end() && --it->second <= 0) readers_.erase(it);
-  }
-  for (const WriteOp& w : txn.write_set) {
-    auto it = writers_.find(w.key);
-    if (it != writers_.end() && --it->second <= 0) writers_.erase(it);
-  }
-}
-
-bool FootprintIndex::ConflictsWith(const Transaction& txn) const {
-  for (const WriteOp& w : txn.write_set) {
-    if (writers_.count(w.key) > 0 || readers_.count(w.key) > 0) return true;
-  }
-  for (const ReadOp& r : txn.read_set) {
-    if (writers_.count(r.key) > 0) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Construction / startup
+// Construction: wire the engines together through hooks.
 // ---------------------------------------------------------------------------
 
 TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
@@ -92,7 +29,49 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
       partition_map_(config.num_partitions),
       cluster_members_(config.ClusterMembers(partition_)),
       tree_(config.merkle_depth),
-      validator_(&store_) {}
+      validator_(&store_) {
+  // The private-base conversion must happen in this class's scope.
+  NodeContext* ctx = this;
+
+  ConsensusEngine::Hooks consensus_hooks;
+  consensus_hooks.on_decided = [this](ConsensusEngine::Decided d) {
+    ApplyDecidedBatch(std::move(d.batch), std::move(d.certificate),
+                      std::move(d.post_tree));
+  };
+  consensus_hooks.on_view_adopted = [this] { pipeline_->OnViewChange(); };
+  consensus_ =
+      std::make_unique<ConsensusEngine>(ctx, std::move(consensus_hooks));
+
+  BatchPipeline::Hooks pipeline_hooks;
+  pipeline_hooks.propose = [this](storage::Batch batch,
+                                  merkle::MerkleTree post_tree) {
+    consensus_->Propose(std::move(batch), std::move(post_tree));
+  };
+  pipeline_hooks.begin_coordination = [this](const Transaction& txn,
+                                             sim::ActorId client) {
+    two_pc_->BeginCoordination(txn, client);
+  };
+  pipeline_hooks.ro_locks_block_writer = [this](const Transaction& txn) {
+    return augustus_->BlocksWriter(txn);
+  };
+  pipeline_ = std::make_unique<BatchPipeline>(ctx, std::move(pipeline_hooks));
+
+  TwoPcCoordinator::Hooks two_pc_hooks;
+  two_pc_hooks.already_seen = [this](TxnId txn_id) {
+    return pipeline_->AlreadySeen(txn_id);
+  };
+  two_pc_hooks.admit_prepared = [this](const Transaction& txn) {
+    return pipeline_->AdmitPrepared(txn);
+  };
+  two_pc_hooks.maybe_propose = [this] { pipeline_->MaybeProposeOnSize(); };
+  two_pc_ =
+      std::make_unique<TwoPcCoordinator>(ctx, std::move(two_pc_hooks));
+
+  read_only_ = std::make_unique<ReadOnlyService>(ctx);
+  augustus_ = std::make_unique<AugustusBaseline>(ctx);
+}
+
+TransEdgeNode::~TransEdgeNode() = default;
 
 void TransEdgeNode::Preload(const storage::VersionedStore& store,
                             const merkle::MerkleTree& tree) {
@@ -100,116 +79,47 @@ void TransEdgeNode::Preload(const storage::VersionedStore& store,
   tree_ = tree.Clone();
 }
 
-void TransEdgeNode::OnStart() {
-  // Every replica runs the batch timer; only the current leader acts on
-  // it. That way a freshly elected leader starts batching immediately.
-  env_->Schedule(config_.batch_interval, [this] { OnBatchTimer(); });
-  // The genesis batch certifies the preloaded state right away so that
-  // read-only transactions have a certificate to verify against.
-  if (byzantine_ != ByzantineBehavior::kCrash && ShouldPropose()) {
-    ProposeBatch();
-  }
+void TransEdgeNode::OnStart() { pipeline_->OnStart(); }
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint64_t TransEdgeNode::view() const { return consensus_->view(); }
+
+bool TransEdgeNode::IsLeader() const {
+  return config_.LeaderOf(partition_, consensus_->view()) == id_;
 }
 
-void TransEdgeNode::OnBatchTimer() {
-  if (byzantine_ != ByzantineBehavior::kCrash) {
-    if (ShouldPropose()) ProposeBatch();
-  }
-  env_->Schedule(config_.batch_interval, [this] { OnBatchTimer(); });
+size_t TransEdgeNode::in_progress_size() const {
+  return pipeline_->in_progress_size();
 }
 
-bool TransEdgeNode::ShouldPropose() const {
-  if (!IsLeader() || proposing_) return false;
-  if (log_.empty()) return true;  // Genesis batch, certifies preload state.
-  if (!inprog_local_.empty() || !inprog_prepared_.empty()) return true;
-  if (prepared_batches_.OldestReady()) return true;
-  return false;
+const NodeStats& TransEdgeNode::stats() const {
+  NodeStats& s = aggregated_stats_;
+  s.local_committed = pipeline_->stats().local_committed;
+  s.local_aborted = pipeline_->stats().local_aborted;
+  s.dist_committed = two_pc_->stats().dist_committed;
+  s.dist_aborted = pipeline_->stats().dist_aborted + two_pc_->stats().dist_aborted;
+  s.batches_decided = consensus_->stats().batches_decided;
+  s.ro_round1_served = read_only_->stats().ro_round1_served;
+  s.ro_round2_served = read_only_->stats().ro_round2_served;
+  s.ro_round2_parked = read_only_->stats().ro_round2_parked;
+  s.rw_aborted_by_ro_locks = pipeline_->stats().rw_aborted_by_ro_locks;
+  s.view_changes = consensus_->stats().view_changes;
+  s.augustus_ro_served = augustus_->stats().augustus_ro_served;
+  return s;
+}
+
+const merkle::MerkleTree::Snapshot& TransEdgeNode::SnapshotAt(
+    BatchId batch_id) const {
+  assert(batch_id >= snapshot_base_);
+  return snapshots_[static_cast<size_t>(batch_id - snapshot_base_)];
 }
 
 // ---------------------------------------------------------------------------
-// Message dispatch
+// Network primitives
 // ---------------------------------------------------------------------------
-
-void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
-  if (byzantine_ == ByzantineBehavior::kCrash) return;
-  Charge(config_.cost.message_handling);
-
-  using wire::MessageType;
-  auto type = static_cast<MessageType>(msg->type());
-
-  // Leader-bound traffic arriving at a follower (stale view at the
-  // sender) is forwarded to the follower's current leader.
-  const bool leader_bound =
-      type == MessageType::kCommitRequest ||
-      type == MessageType::kCoordPrepare || type == MessageType::kPrepared ||
-      type == MessageType::kCommitRecord || type == MessageType::kRoRequest ||
-      type == MessageType::kRoBatchRequest ||
-      type == MessageType::kAugustusRoRequest ||
-      type == MessageType::kAugustusRelease;
-  if (leader_bound && !IsLeader()) {
-    Send(config_.LeaderOf(partition_, view_), msg, cpu_.busy_until());
-    // Expect the leader to make progress on the forwarded work; if the
-    // log does not advance, demand a view change (PBFT-style liveness).
-    StartViewChangeTimer(log_.LastBatchId() + 1);
-    return;
-  }
-
-  switch (type) {
-    case MessageType::kClientRead:
-      HandleClientRead(from, static_cast<const wire::ClientReadRequest&>(*msg));
-      break;
-    case MessageType::kCommitRequest:
-      HandleCommitRequest(from, static_cast<const wire::CommitRequest&>(*msg));
-      break;
-    case MessageType::kRoRequest:
-      HandleRoRequest(from, static_cast<const wire::RoRequest&>(*msg));
-      break;
-    case MessageType::kRoBatchRequest:
-      HandleRoBatchRequest(from,
-                           static_cast<const wire::RoBatchRequest&>(*msg));
-      break;
-    case MessageType::kPrePrepare:
-      HandlePrePrepare(from, static_cast<const wire::PrePrepareMsg&>(*msg));
-      break;
-    case MessageType::kPrepare:
-      HandlePrepare(from, static_cast<const wire::PrepareMsg&>(*msg));
-      break;
-    case MessageType::kCommit:
-      HandleCommit(from, static_cast<const wire::CommitMsg&>(*msg));
-      break;
-    case MessageType::kViewChange:
-      HandleViewChange(from, static_cast<const wire::ViewChangeMsg&>(*msg));
-      break;
-    case MessageType::kCoordPrepare:
-      HandleCoordPrepare(from, static_cast<const wire::CoordPrepareMsg&>(*msg));
-      break;
-    case MessageType::kPrepared:
-      HandlePrepared(from, static_cast<const wire::PreparedMsg&>(*msg));
-      break;
-    case MessageType::kCommitRecord:
-      HandleCommitRecord(from,
-                         static_cast<const wire::CommitRecordMsg&>(*msg));
-      break;
-    case MessageType::kAugustusRoRequest:
-      HandleAugustusRoRequest(
-          from, static_cast<const wire::AugustusRoRequest&>(*msg));
-      break;
-    case MessageType::kAugustusVoteRequest:
-      HandleAugustusVoteRequest(
-          from, static_cast<const wire::AugustusVoteRequest&>(*msg));
-      break;
-    case MessageType::kAugustusVoteReply:
-      HandleAugustusVoteReply(
-          from, static_cast<const wire::AugustusVoteReply&>(*msg));
-      break;
-    case MessageType::kAugustusRelease:
-      HandleAugustusRelease(from,
-                            static_cast<const wire::AugustusRelease&>(*msg));
-      break;
-    default:
-      break;  // Unknown or client-side message types are ignored.
-  }
-}
 
 void TransEdgeNode::Send(crypto::NodeId to, const sim::MessagePtr& msg,
                          sim::Time at) {
@@ -232,525 +142,110 @@ void TransEdgeNode::SendToCluster(PartitionId p, const sim::MessagePtr& msg,
   }
 }
 
-sim::Time TransEdgeNode::BatchComputeCost(size_t batch_size,
-                                          sim::Time per_txn) const {
-  double quad = config_.cost.batch_quadratic_ns *
-                static_cast<double>(batch_size) *
-                static_cast<double>(batch_size) / 1000.0;
-  return config_.cost.batch_overhead +
-         per_txn * static_cast<sim::Time>(batch_size) +
-         static_cast<sim::Time>(quad);
-}
-
 // ---------------------------------------------------------------------------
-// Admission (leader)
+// Message routing
 // ---------------------------------------------------------------------------
 
-Transaction TransEdgeNode::RestrictToPartition(const Transaction& txn) const {
-  Transaction out;
-  out.id = txn.id;
-  out.participants = txn.participants;
-  out.coordinator = txn.coordinator;
-  out.read_set = partition_map_.ReadsFor(txn, partition_);
-  out.write_set = partition_map_.WritesFor(txn, partition_);
-  return out;
-}
+void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+  if (byzantine_ == ByzantineBehavior::kCrash) return;
+  Charge(config_.cost.message_handling);
 
-Status TransEdgeNode::AdmitCheck(const Transaction& txn) {
-  // Rule 1 of Definition 3.1 applies to the keys this partition owns.
-  Transaction restricted = RestrictToPartition(txn);
-  TE_RETURN_IF_ERROR(validator_.CheckAgainstStore(restricted));
-  // Rules 2 and 3 use the full footprint: a conflict on a remote key is a
-  // conflict the remote partition would reject anyway; catching it here
-  // aborts earlier and keeps prepare groups conflict-free.
-  if (inprog_index_.ConflictsWith(txn)) {
-    return Status::Conflict("conflicts with in-progress batch");
-  }
-  if (pending_index_.ConflictsWith(txn)) {
-    return Status::Conflict("conflicts with a prepared transaction");
-  }
-  // Augustus baseline: shared read locks block writers (Table 1's
-  // interference). TransEdge's own read-only path never takes locks.
-  if (!txn.write_set.empty() && ro_locks_.BlocksWriter(restricted)) {
-    ++stats_.rw_aborted_by_ro_locks;
-    return Status::Conflict("write key is read-locked (Augustus baseline)");
-  }
-  return Status::OK();
-}
+  using wire::MessageType;
+  auto type = static_cast<MessageType>(msg->type());
 
-void TransEdgeNode::HandleClientRead(sim::ActorId from,
-                                     const wire::ClientReadRequest& msg) {
-  wire::ClientReadReply reply;
-  reply.request_id = msg.request_id;
-  reply.key = msg.key;
-  Result<storage::VersionedValue> value = store_.Get(msg.key);
-  if (value.ok()) {
-    reply.found = true;
-    reply.value = value->value;
-    reply.version = value->version;
-  }
-  sim::Time done = Charge(config_.cost.ro_serve_per_key);
-  Send(msg.reply_to != 0 ? msg.reply_to : from, Share(std::move(reply)), done);
-}
-
-void TransEdgeNode::ReplyCommit(sim::ActorId client, TxnId txn_id,
-                                bool committed, const std::string& reason,
-                                sim::Time at) {
-  wire::CommitReply reply;
-  reply.txn_id = txn_id;
-  reply.committed = committed;
-  reply.reason = reason;
-  Send(client, Share(std::move(reply)), at);
-}
-
-void TransEdgeNode::HandleCommitRequest(sim::ActorId from,
-                                        const wire::CommitRequest& msg) {
-  sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
-  const Transaction& txn = msg.txn;
-  if (seen_txns_.count(txn.id) > 0) return;  // Duplicate / retry.
-
-  sim::Time done = Charge(config_.cost.admit_per_txn);
-  Status admit = AdmitCheck(txn);
-
-  if (txn.IsLocal()) {
-    if (!admit.ok()) {
-      ++stats_.local_aborted;
-      ReplyCommit(client, txn.id, false, admit.message(), done);
-      return;
-    }
-    seen_txns_.insert(txn.id);
-    inprog_local_.push_back(txn);
-    inprog_index_.Add(txn);
-    local_waiting_clients_[txn.id] = client;
-  } else {
-    if (txn.coordinator != partition_) {
-      ReplyCommit(client, txn.id, false, "wrong coordinator cluster", done);
-      return;
-    }
-    if (!admit.ok()) {
-      ++stats_.dist_aborted;
-      ReplyCommit(client, txn.id, false, admit.message(), done);
-      return;
-    }
-    seen_txns_.insert(txn.id);
-    inprog_prepared_.push_back(txn);
-    inprog_index_.Add(txn);
-    CoordinatorTxn coord;
-    coord.txn = txn;
-    coord.client = client;
-    coord_txns_[txn.id] = std::move(coord);
-  }
-
-  if (inprog_local_.size() + inprog_prepared_.size() >=
-          config_.max_batch_size &&
-      !proposing_) {
-    ProposeBatch();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Batch building and consensus
-// ---------------------------------------------------------------------------
-
-storage::Batch TransEdgeNode::BuildBatch() {
-  storage::Batch batch;
-  batch.partition = partition_;
-  batch.id = log_.LastBatchId() + 1;
-  batch.local = std::move(inprog_local_);
-  batch.prepared = std::move(inprog_prepared_);
-  inprog_local_.clear();
-  inprog_prepared_.clear();
-
-  // Committed segment: the ready prefix of prepare groups, in prepare
-  // order (Definition 4.1).
-  BatchId lce = log_.empty() ? kNoBatch : log_.back().batch.ro.lce;
-  CdVector cd = log_.empty() ? CdVector(config_.num_partitions)
-                             : log_.back().batch.ro.cd_vector;
-  if (cd.empty()) cd = CdVector(config_.num_partitions);
-
-  for (const txn::PrepareGroup* group : prepared_batches_.ReadyPrefix()) {
-    for (const txn::PendingTxn& pending : group->txns) {
-      storage::CommitRecord rec;
-      rec.txn_id = pending.txn.id;
-      rec.committed = pending.state == txn::PendingTxn::State::kCommitted;
-      rec.prepared_in_batch = group->prepared_in_batch;
-      rec.participant_info = pending.participant_info;
-      batch.committed.push_back(std::move(rec));
-    }
-    lce = group->prepared_in_batch;
-  }
-
-  // Algorithm 1: derive the CD vector from the previous batch's vector
-  // and the CD vectors reported in the prepared messages of every commit
-  // record in the committed segment.
-  for (const storage::CommitRecord& rec : batch.committed) {
-    if (!rec.committed) continue;  // Aborts introduce no dependencies.
-    for (const storage::PreparedInfo& info : rec.participant_info) {
-      if (info.cd_vector.size() == cd.size()) cd.PairwiseMax(info.cd_vector);
-    }
-  }
-  cd.Set(partition_, batch.id);
-
-  batch.ro.cd_vector = std::move(cd);
-  batch.ro.lce = lce;
-  batch.ro.timestamp_us = env_->now();
-  return batch;
-}
-
-namespace {
-
-/// Applies the writes a batch commits (local transactions + committed
-/// distributed transactions) to `tree`, restricted to this partition's
-/// keys. `resolve` maps a commit record to its transaction.
-template <typename Resolver>
-void ApplyWritesToTree(merkle::MerkleTree* tree,
-                       const storage::PartitionMap& pmap, PartitionId self,
-                       const storage::Batch& batch, Resolver resolve) {
-  for (const Transaction& t : batch.local) {
-    for (const WriteOp& w : pmap.WritesFor(t, self)) {
-      tree->Put(w.key, w.value, batch.id);
-    }
-  }
-  for (const storage::CommitRecord& rec : batch.committed) {
-    if (!rec.committed) continue;
-    const Transaction* t = resolve(rec.txn_id);
-    if (t == nullptr) continue;
-    for (const WriteOp& w : pmap.WritesFor(*t, self)) {
-      tree->Put(w.key, w.value, batch.id);
-    }
-  }
-}
-
-}  // namespace
-
-void TransEdgeNode::ProposeBatch() {
-  proposing_ = true;
-  storage::Batch batch = BuildBatch();
-  size_t batch_size = batch.TotalTransactions();
-  sim::Time done = Charge(
-      BatchComputeCost(batch_size, config_.cost.admit_per_txn / 4) +
-      config_.cost.signature_op);
-
-  auto [it, inserted] =
-      instances_.try_emplace(batch.id, config_.merkle_depth);
-  ConsensusInstance& inst = it->second;
-  inst.has_batch = true;
-
-  // Compute the post-state Merkle root on a structural-sharing clone.
-  inst.post_tree = tree_.Clone();
-  ApplyWritesToTree(&inst.post_tree, partition_map_, partition_, batch,
-                    [this](TxnId id) { return prepared_batches_.FindTxn(id); });
-  batch.ro.merkle_root = inst.post_tree.RootDigest();
-
-  inst.batch = batch;
-  inst.digest = batch.ComputeDigest();
-  inst.validated = true;
-
-  // Leader's own certificate share doubles as its prepare vote.
-  storage::BatchCertificate payload;
-  payload.partition = partition_;
-  payload.batch_id = batch.id;
-  payload.batch_digest = inst.digest;
-  payload.merkle_root = batch.ro.merkle_root;
-  payload.ro_digest = batch.ro.ComputeDigest();
-  crypto::Signature share = signer_->Sign(payload.SignedPayload());
-  inst.prepare_votes[id_] = inst.digest;
-  inst.cert_shares[id_] = share;
-  inst.sent_prepare = true;
-
-  wire::PrePrepareMsg msg;
-  msg.view = view_;
-  msg.batch = std::move(batch);
-  msg.leader_signature = signer_->Sign(DigestSignPayload(inst.digest));
-  msg.leader_cert_share = share;
-
-  if (config_.simulate_shared_merkle) {
-    msg.post_snapshot = inst.post_tree.GetSnapshot();
-  }
-
-  if (byzantine_ == ByzantineBehavior::kEquivocate) {
-    // Send a conflicting variant to half the cluster: same transactions,
-    // different timestamp => different digest. Neither variant can gather
-    // a quorum of matching votes.
-    wire::PrePrepareMsg alt = msg;
-    alt.batch.ro.timestamp_us += 1;
-    crypto::Digest alt_digest = alt.batch.ComputeDigest();
-    alt.leader_signature = signer_->Sign(DigestSignPayload(alt_digest));
-    storage::BatchCertificate alt_payload = payload;
-    alt_payload.batch_digest = alt_digest;
-    alt_payload.ro_digest = alt.batch.ro.ComputeDigest();
-    alt.leader_cert_share = signer_->Sign(alt_payload.SignedPayload());
-    auto shared_main = Share(std::move(msg));
-    auto shared_alt = Share(std::move(alt));
-    bool flip = false;
-    for (crypto::NodeId member : cluster_members_) {
-      if (member == id_) continue;
-      Send(member, flip ? shared_alt : shared_main, done);
-      flip = !flip;
-    }
+  // Leader-bound traffic arriving at a follower (stale view at the
+  // sender) is forwarded to the follower's current leader.
+  const bool leader_bound =
+      type == MessageType::kCommitRequest ||
+      type == MessageType::kCoordPrepare || type == MessageType::kPrepared ||
+      type == MessageType::kCommitRecord || type == MessageType::kRoRequest ||
+      type == MessageType::kRoBatchRequest ||
+      type == MessageType::kAugustusRoRequest ||
+      type == MessageType::kAugustusRelease;
+  if (leader_bound && !IsLeader()) {
+    Send(config_.LeaderOf(partition_, consensus_->view()), msg,
+         cpu_.busy_until());
+    // Expect the leader to make progress on the forwarded work; if the
+    // log does not advance, demand a view change (PBFT-style liveness).
+    consensus_->StartViewChangeTimer(log_.LastBatchId() + 1);
     return;
   }
 
-  BroadcastToCluster(Share(std::move(msg)), done);
-  StartViewChangeTimer(inst.batch.id);
-}
-
-void TransEdgeNode::HandlePrePrepare(sim::ActorId from,
-                                     const wire::PrePrepareMsg& msg) {
-  if (msg.view != view_) return;
-  if (from != config_.LeaderOf(partition_, view_)) return;
-  BatchId id = msg.batch.id;
-  if (id <= log_.LastBatchId()) return;  // Already decided.
-
-  auto [it, inserted] = instances_.try_emplace(id, config_.merkle_depth);
-  ConsensusInstance& inst = it->second;
-  if (inst.has_batch) return;  // First proposal wins; duplicates ignored.
-
-  crypto::Digest digest = msg.batch.ComputeDigest();
-  if (!verifier_->Verify(DigestSignPayload(digest), msg.leader_signature) ||
-      msg.leader_signature.signer != from) {
-    return;  // Forged or corrupted proposal.
-  }
-  inst.has_batch = true;
-  inst.batch = msg.batch;
-  inst.digest = digest;
-  inst.adopted_snapshot = msg.post_snapshot;
-  inst.prepare_votes[from] = digest;
-  inst.cert_shares[from] = msg.leader_cert_share;
-
-  StartViewChangeTimer(id);
-  AdvanceConsensus();
-}
-
-void TransEdgeNode::HandlePrepare(sim::ActorId from,
-                                  const wire::PrepareMsg& msg) {
-  if (msg.view != view_) return;
-  if (msg.batch_id <= log_.LastBatchId()) return;
-  auto [it, inserted] =
-      instances_.try_emplace(msg.batch_id, config_.merkle_depth);
-  it->second.prepare_votes[from] = msg.batch_digest;
-  it->second.cert_shares[from] = msg.cert_share;
-  AdvanceConsensus();
-}
-
-void TransEdgeNode::HandleCommit(sim::ActorId from,
-                                 const wire::CommitMsg& msg) {
-  if (msg.view != view_) return;
-  if (msg.batch_id <= log_.LastBatchId()) return;
-  auto [it, inserted] =
-      instances_.try_emplace(msg.batch_id, config_.merkle_depth);
-  it->second.commit_votes[from] = msg.batch_digest;
-  AdvanceConsensus();
-}
-
-namespace {
-size_t CountMatching(const std::map<crypto::NodeId, crypto::Digest>& votes,
-                     const crypto::Digest& digest) {
-  size_t n = 0;
-  for (const auto& [node, d] : votes) {
-    if (d == digest) ++n;
-  }
-  return n;
-}
-}  // namespace
-
-void TransEdgeNode::AdvanceConsensus() {
-  BatchId next = log_.LastBatchId() + 1;
-  auto it = instances_.find(next);
-  if (it == instances_.end()) return;
-  ConsensusInstance& inst = it->second;
-  if (!inst.has_batch) return;
-
-  if (!inst.validated && !inst.validation_failed) {
-    Status s = ValidateProposedBatch(&inst);
-    if (!s.ok()) {
-      // A correct replica stays silent on an invalid proposal; the
-      // progress timer will trigger a view change.
-      inst.validation_failed = true;
-      return;
-    }
-    inst.validated = true;
-  }
-  if (inst.validation_failed) return;
-
-  if (!inst.sent_prepare) {
-    storage::BatchCertificate payload;
-    payload.partition = partition_;
-    payload.batch_id = inst.batch.id;
-    payload.batch_digest = inst.digest;
-    payload.merkle_root = inst.batch.ro.merkle_root;
-    payload.ro_digest = inst.batch.ro.ComputeDigest();
-    crypto::Signature share = signer_->Sign(payload.SignedPayload());
-    inst.prepare_votes[id_] = inst.digest;
-    inst.cert_shares[id_] = share;
-    inst.sent_prepare = true;
-
-    wire::PrepareMsg msg;
-    msg.view = view_;
-    msg.batch_id = inst.batch.id;
-    msg.batch_digest = inst.digest;
-    msg.cert_share = share;
-    BroadcastToCluster(Share(std::move(msg)),
-                       Charge(config_.cost.signature_op));
-  }
-
-  if (inst.sent_prepare && !inst.sent_commit &&
-      CountMatching(inst.prepare_votes, inst.digest) >=
-          config_.quorum_size()) {
-    inst.commit_votes[id_] = inst.digest;
-    inst.sent_commit = true;
-    wire::CommitMsg msg;
-    msg.view = view_;
-    msg.batch_id = inst.batch.id;
-    msg.batch_digest = inst.digest;
-    BroadcastToCluster(Share(std::move(msg)), cpu_.busy_until());
-  }
-
-  if (inst.sent_commit && !inst.decided &&
-      CountMatching(inst.commit_votes, inst.digest) >=
-          config_.quorum_size()) {
-    inst.decided = true;
-    ConsensusInstance decided = std::move(inst);
-    instances_.erase(it);
-    ApplyDecidedBatch(std::move(decided));
+  switch (type) {
+    case MessageType::kClientRead:
+      read_only_->HandleClientRead(
+          from, static_cast<const wire::ClientReadRequest&>(*msg));
+      break;
+    case MessageType::kCommitRequest:
+      pipeline_->HandleCommitRequest(
+          from, static_cast<const wire::CommitRequest&>(*msg));
+      break;
+    case MessageType::kRoRequest:
+      read_only_->HandleRoRequest(from,
+                                  static_cast<const wire::RoRequest&>(*msg));
+      break;
+    case MessageType::kRoBatchRequest:
+      read_only_->HandleRoBatchRequest(
+          from, static_cast<const wire::RoBatchRequest&>(*msg));
+      break;
+    case MessageType::kPrePrepare:
+      consensus_->HandlePrePrepare(
+          from, static_cast<const wire::PrePrepareMsg&>(*msg));
+      break;
+    case MessageType::kPrepare:
+      consensus_->HandlePrepare(from,
+                                static_cast<const wire::PrepareMsg&>(*msg));
+      break;
+    case MessageType::kCommit:
+      consensus_->HandleCommit(from,
+                               static_cast<const wire::CommitMsg&>(*msg));
+      break;
+    case MessageType::kViewChange:
+      consensus_->HandleViewChange(
+          from, static_cast<const wire::ViewChangeMsg&>(*msg));
+      break;
+    case MessageType::kCoordPrepare:
+      two_pc_->HandleCoordPrepare(
+          from, static_cast<const wire::CoordPrepareMsg&>(*msg));
+      break;
+    case MessageType::kPrepared:
+      two_pc_->HandlePrepared(from,
+                              static_cast<const wire::PreparedMsg&>(*msg));
+      break;
+    case MessageType::kCommitRecord:
+      two_pc_->HandleCommitRecord(
+          from, static_cast<const wire::CommitRecordMsg&>(*msg));
+      break;
+    case MessageType::kAugustusRoRequest:
+      augustus_->HandleRoRequest(
+          from, static_cast<const wire::AugustusRoRequest&>(*msg));
+      break;
+    case MessageType::kAugustusVoteRequest:
+      augustus_->HandleVoteRequest(
+          from, static_cast<const wire::AugustusVoteRequest&>(*msg));
+      break;
+    case MessageType::kAugustusVoteReply:
+      augustus_->HandleVoteReply(
+          from, static_cast<const wire::AugustusVoteReply&>(*msg));
+      break;
+    case MessageType::kAugustusRelease:
+      augustus_->HandleRelease(
+          from, static_cast<const wire::AugustusRelease&>(*msg));
+      break;
+    default:
+      break;  // Unknown or client-side message types are ignored.
   }
 }
 
-Status TransEdgeNode::ValidateProposedBatch(ConsensusInstance* inst) {
-  const storage::Batch& batch = *&inst->batch;
-  if (batch.partition != partition_) {
-    return Status::InvalidArgument("batch for wrong partition");
-  }
-  if (batch.id != log_.LastBatchId() + 1) {
-    return Status::FailedPrecondition("batch id not next in log");
-  }
+// ---------------------------------------------------------------------------
+// Decided-batch application (storage stack) and follow-up fan-out
+// ---------------------------------------------------------------------------
 
-  // Freshness window (§4.4.2): a malicious leader cannot timestamp a
-  // batch far from real time.
-  int64_t skew = batch.ro.timestamp_us - env_->now();
-  if (skew < -config_.freshness_window || skew > config_.freshness_window) {
-    return Status::VerificationFailed("batch timestamp outside window");
-  }
-
-  Charge(BatchComputeCost(batch.TotalTransactions(),
-                          config_.cost.validate_per_txn));
-
-  // Re-run Definition 3.1 on every transaction the leader admitted.
-  FootprintIndex batch_index;
-  auto check = [&](const Transaction& t) -> Status {
-    Transaction restricted = RestrictToPartition(t);
-    TE_RETURN_IF_ERROR(validator_.CheckAgainstStore(restricted));
-    if (batch_index.ConflictsWith(t)) {
-      return Status::Conflict("conflict inside proposed batch");
-    }
-    if (pending_index_.ConflictsWith(t)) {
-      return Status::Conflict("conflict with prepared transaction");
-    }
-    batch_index.Add(t);
-    return Status::OK();
-  };
-  for (const Transaction& t : batch.local) TE_RETURN_IF_ERROR(check(t));
-  for (const Transaction& t : batch.prepared) TE_RETURN_IF_ERROR(check(t));
-
-  // The committed segment must be exactly a ready prefix of our prepare
-  // groups, in Definition 4.1 order.
-  {
-    std::vector<BatchId> group_ids;
-    for (const storage::CommitRecord& rec : batch.committed) {
-      if (group_ids.empty() || group_ids.back() != rec.prepared_in_batch) {
-        group_ids.push_back(rec.prepared_in_batch);
-      }
-      if (prepared_batches_.FindTxn(rec.txn_id) == nullptr) {
-        return Status::VerificationFailed(
-            "commit record references unknown transaction");
-      }
-    }
-    for (size_t i = 1; i < group_ids.size(); ++i) {
-      if (group_ids[i - 1] >= group_ids[i]) {
-        return Status::VerificationFailed(
-            "commit records violate prepare-group order");
-      }
-    }
-    if (!group_ids.empty()) {
-      const txn::PrepareGroup* oldest = prepared_batches_.Oldest();
-      if (oldest == nullptr ||
-          oldest->prepared_in_batch != group_ids.front()) {
-        return Status::VerificationFailed(
-            "committed segment does not start at the oldest prepare group");
-      }
-    }
-  }
-
-  // LCE: must be the prepare-batch id of the last committed group, or
-  // carried forward.
-  BatchId expected_lce = log_.empty() ? kNoBatch : log_.back().batch.ro.lce;
-  if (!batch.committed.empty()) {
-    expected_lce = batch.committed.back().prepared_in_batch;
-  }
-  if (batch.ro.lce != expected_lce) {
-    return Status::VerificationFailed("LCE mismatch");
-  }
-
-  // CD vector: re-run Algorithm 1 and compare.
-  CdVector cd = log_.empty() ? CdVector(config_.num_partitions)
-                             : log_.back().batch.ro.cd_vector;
-  if (cd.empty()) cd = CdVector(config_.num_partitions);
-  for (const storage::CommitRecord& rec : batch.committed) {
-    if (!rec.committed) continue;
-    for (const storage::PreparedInfo& info : rec.participant_info) {
-      if (info.cd_vector.size() == cd.size()) cd.PairwiseMax(info.cd_vector);
-    }
-  }
-  cd.Set(partition_, batch.id);
-  if (!(cd == batch.ro.cd_vector)) {
-    return Status::VerificationFailed("CD vector mismatch");
-  }
-
-  // Merkle root: replay the writes on a clone and compare roots. Under
-  // the shared-merkle simulation shortcut, adopt the leader's persistent
-  // tree instead of re-hashing identical updates (host-CPU optimization
-  // only; simulated validation cost was charged above).
-  if (config_.simulate_shared_merkle && inst->adopted_snapshot.valid()) {
-    if (inst->adopted_snapshot.RootDigest() != batch.ro.merkle_root) {
-      return Status::VerificationFailed("shared merkle root mismatch");
-    }
-    inst->post_tree = merkle::MerkleTree::FromSnapshot(
-        inst->adopted_snapshot);
-  } else {
-    inst->post_tree = tree_.Clone();
-    ApplyWritesToTree(&inst->post_tree, partition_map_, partition_, batch,
-                      [this](TxnId id) {
-                        return prepared_batches_.FindTxn(id);
-                      });
-    if (inst->post_tree.RootDigest() != batch.ro.merkle_root) {
-      return Status::VerificationFailed("merkle root mismatch");
-    }
-  }
-  return Status::OK();
-}
-
-void TransEdgeNode::ApplyDecidedBatch(ConsensusInstance inst) {
-  storage::Batch& batch = inst.batch;
+void TransEdgeNode::ApplyDecidedBatch(storage::Batch batch,
+                                      storage::BatchCertificate certificate,
+                                      merkle::MerkleTree post_tree) {
   Charge(BatchComputeCost(batch.TotalTransactions(),
                           config_.cost.apply_per_txn));
-
-  // Assemble the f+1 certificate from matching shares.
-  storage::BatchCertificate cert;
-  cert.partition = partition_;
-  cert.batch_id = batch.id;
-  cert.batch_digest = inst.digest;
-  cert.merkle_root = batch.ro.merkle_root;
-  cert.ro_digest = batch.ro.ComputeDigest();
-  Bytes payload = cert.SignedPayload();
-  for (const auto& [node, vote_digest] : inst.prepare_votes) {
-    if (cert.signatures.size() >= config_.certificate_size()) break;
-    if (!(vote_digest == inst.digest)) continue;
-    auto share = inst.cert_shares.find(node);
-    if (share == inst.cert_shares.end()) continue;
-    if (verifier_->Verify(payload, share->second)) {
-      cert.signatures.Add(share->second);
-    }
-  }
 
   // Apply local writes to the store (the tree was updated during
   // validation / proposal).
@@ -772,11 +267,10 @@ void TransEdgeNode::ApplyDecidedBatch(ConsensusInstance inst) {
     assert(group.prepared_in_batch == gid);
     (void)gid;
     for (txn::PendingTxn& pending : group.txns) {
-      auto rec_it = std::find_if(
-          batch.committed.begin(), batch.committed.end(),
-          [&](const storage::CommitRecord& r) {
-            return r.txn_id == pending.txn.id;
-          });
+      auto rec_it = std::find_if(batch.committed.begin(), batch.committed.end(),
+                                 [&](const storage::CommitRecord& r) {
+                                   return r.txn_id == pending.txn.id;
+                                 });
       pending_index_.Remove(pending.txn);
       if (rec_it != batch.committed.end() && rec_it->committed) {
         for (const WriteOp& w :
@@ -787,7 +281,7 @@ void TransEdgeNode::ApplyDecidedBatch(ConsensusInstance inst) {
     }
   }
 
-  tree_ = std::move(inst.post_tree);
+  tree_ = std::move(post_tree);
   snapshots_.push_back(tree_.GetSnapshot());
   assert(snapshot_base_ + static_cast<BatchId>(snapshots_.size()) ==
          batch.id + 1);
@@ -799,11 +293,8 @@ void TransEdgeNode::ApplyDecidedBatch(ConsensusInstance inst) {
     if (snapshot_base_ % 64 == 0) store_.TruncateHistory(snapshot_base_);
   }
 
-  // Register the new prepare group and transition indexes.
-  if (IsLeader()) {
-    for (const Transaction& t : batch.local) inprog_index_.Remove(t);
-    for (const Transaction& t : batch.prepared) inprog_index_.Remove(t);
-  }
+  // Register the new prepare group so the read-only segment of a later
+  // batch can commit it (Definition 4.1).
   if (!batch.prepared.empty()) {
     std::vector<txn::PendingTxn> pendings;
     pendings.reserve(batch.prepared.size());
@@ -816,476 +307,20 @@ void TransEdgeNode::ApplyDecidedBatch(ConsensusInstance inst) {
     prepared_batches_.AddGroup(batch.id, std::move(pendings));
   }
 
-  ++stats_.batches_decided;
-
-  storage::BatchCertificate cert_copy = cert;
-  Status append = log_.Append({std::move(batch), std::move(cert)});
+  Status append = log_.Append({std::move(batch), std::move(certificate)});
   assert(append.ok());
   (void)append;
-  const storage::Batch& logged = log_.back().batch;
+  const storage::LogEntry& logged = log_.back();
 
-  // Leader-side follow-ups.
-  if (IsLeader()) {
-    proposing_ = false;
-    sim::Time at = cpu_.busy_until();
-
-    // Local transactions are now committed — answer clients.
-    for (const Transaction& t : logged.local) {
-      auto it = local_waiting_clients_.find(t.id);
-      if (it != local_waiting_clients_.end()) {
-        ++stats_.local_committed;
-        ReplyCommit(it->second, t.id, true, "", at);
-        local_waiting_clients_.erase(it);
-      }
-    }
-
-    // Freshly prepared distributed transactions: drive 2PC.
-    for (const Transaction& t : logged.prepared) {
-      auto coord_it = coord_txns_.find(t.id);
-      if (coord_it != coord_txns_.end()) {
-        // We are the coordinator: record our own prepared info and send
-        // coordinator-prepares to the other participants (step 3).
-        storage::PreparedInfo own;
-        own.partition = partition_;
-        own.prepared_in_batch = logged.id;
-        own.vote = true;
-        own.cd_vector = logged.ro.cd_vector;
-        coord_it->second.collected[partition_] = own;
-        for (PartitionId p : t.participants) {
-          if (p == partition_) continue;
-          wire::CoordPrepareMsg msg;
-          msg.txn = t;
-          msg.coordinator = partition_;
-          msg.proof = cert_copy;
-          SendToCluster(p, Share(std::move(msg)), at);
-        }
-        MaybeDecide2pc(t.id);
-      } else if (participant_pending_.count(t.id) > 0) {
-        // We are a participant: report prepared to the coordinator
-        // (step 5), piggybacking this batch's CD vector.
-        participant_pending_.erase(t.id);
-        wire::PreparedMsg msg;
-        msg.txn_id = t.id;
-        msg.info.partition = partition_;
-        msg.info.prepared_in_batch = logged.id;
-        msg.info.vote = true;
-        msg.info.cd_vector = logged.ro.cd_vector;
-        msg.proof = cert_copy;
-        SendToCluster(t.coordinator, Share(std::move(msg)), at);
-      }
-    }
-
-    // Commit records just written: notify participants and clients
-    // (steps 7 and 8).
-    for (const storage::CommitRecord& rec : logged.committed) {
-      auto coord_it = coord_txns_.find(rec.txn_id);
-      if (coord_it == coord_txns_.end()) continue;
-      const Transaction& t = coord_it->second.txn;
-      for (PartitionId p : t.participants) {
-        if (p == partition_) continue;
-        wire::CommitRecordMsg msg;
-        msg.txn_id = rec.txn_id;
-        msg.commit = rec.committed;
-        msg.participant_info = rec.participant_info;
-        msg.proof = cert_copy;
-        SendToCluster(p, Share(std::move(msg)), at);
-      }
-      if (rec.committed) {
-        ++stats_.dist_committed;
-      } else {
-        ++stats_.dist_aborted;
-      }
-      ReplyCommit(coord_it->second.client, rec.txn_id, rec.committed,
-                  rec.committed ? "" : "aborted by 2PC", at);
-      coord_txns_.erase(coord_it);
-    }
-  }
-
-  ServeParkedRoRequests();
-  AdvanceConsensus();
-
-  if (IsLeader() && !proposing_ &&
-      inprog_local_.size() + inprog_prepared_.size() >=
-          config_.max_batch_size) {
-    ProposeBatch();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// View changes
-// ---------------------------------------------------------------------------
-
-void TransEdgeNode::StartViewChangeTimer(BatchId batch_id) {
-  uint64_t view_at_start = view_;
-  env_->Schedule(config_.view_change_timeout, [this, batch_id,
-                                               view_at_start] {
-    if (view_ != view_at_start) return;
-    if (log_.LastBatchId() >= batch_id) return;  // Decided in time.
-    InitiateViewChange(view_ + 1);
-  });
-}
-
-void TransEdgeNode::InitiateViewChange(uint64_t new_view) {
-  if (new_view <= view_) return;
-  auto& votes = view_change_votes_[new_view];
-  if (votes.count(id_) > 0) return;  // Already voted for this view.
-  votes.insert(id_);
-
-  wire::ViewChangeMsg msg;
-  msg.new_view = new_view;
-  msg.last_committed = log_.LastBatchId();
-  Encoder enc;
-  enc.PutString("transedge-view-change");
-  enc.PutU64(new_view);
-  msg.signature = signer_->Sign(enc.buffer());
-  BroadcastToCluster(Share(std::move(msg)),
-                     Charge(config_.cost.signature_op));
-  MaybeAdoptView(new_view);
-}
-
-void TransEdgeNode::MaybeAdoptView(uint64_t target) {
-  if (target <= view_) return;
-  auto it = view_change_votes_.find(target);
-  if (it == view_change_votes_.end() ||
-      it->second.size() < config_.quorum_size()) {
-    return;
-  }
-  view_ = target;
-  ++stats_.view_changes;
-  // Undecided proposals from the old view are abandoned; clients will
-  // retry against the new leader.
-  instances_.clear();
-  proposing_ = false;
-  inprog_local_.clear();
-  inprog_prepared_.clear();
-  inprog_index_ = FootprintIndex();
-  view_change_votes_.erase(target);
-}
-
-void TransEdgeNode::HandleViewChange(sim::ActorId from,
-                                     const wire::ViewChangeMsg& msg) {
-  uint64_t target = msg.new_view;
-  if (target <= view_) return;
-  auto& votes = view_change_votes_[target];
-  votes.insert(from);
-
-  // Join the view change once f+1 replicas demand it (at least one of
-  // them is honest), adopt once 2f+1 do.
-  if (votes.count(id_) == 0 && votes.size() > config_.f) {
-    InitiateViewChange(target);
-    return;
-  }
-  MaybeAdoptView(target);
-}
-
-// ---------------------------------------------------------------------------
-// 2PC handlers
-// ---------------------------------------------------------------------------
-
-void TransEdgeNode::HandleCoordPrepare(sim::ActorId from,
-                                       const wire::CoordPrepareMsg& msg) {
-  (void)from;
-  const Transaction& txn = msg.txn;
-  if (seen_txns_.count(txn.id) > 0) return;  // Duplicate (f+1 fan-out).
-
-  sim::Time done = Charge(config_.cost.signature_op);  // Verify the proof.
-  Status proof_ok =
-      msg.proof.Verify(*verifier_, config_.certificate_size(),
-                       config_.ClusterMembers(msg.coordinator));
-  if (!proof_ok.ok()) return;  // Unauthenticated prepare; drop.
-
-  seen_txns_.insert(txn.id);
-  done = Charge(config_.cost.admit_per_txn);
-  Status admit = AdmitCheck(txn);
-  if (!admit.ok()) {
-    // Vote no immediately: we never prepared, so there is nothing to
-    // clean up locally (§3.3.3).
-    wire::PreparedMsg reply;
-    reply.txn_id = txn.id;
-    reply.info.partition = partition_;
-    reply.info.prepared_in_batch = kNoBatch;
-    reply.info.vote = false;
-    reply.info.cd_vector = CdVector(config_.num_partitions);
-    SendToCluster(msg.coordinator, Share(std::move(reply)), done);
-    return;
-  }
-
-  inprog_prepared_.push_back(txn);
-  inprog_index_.Add(txn);
-  participant_pending_.insert(txn.id);
-  if (inprog_local_.size() + inprog_prepared_.size() >=
-          config_.max_batch_size &&
-      !proposing_) {
-    ProposeBatch();
-  }
-}
-
-void TransEdgeNode::HandlePrepared(sim::ActorId from,
-                                   const wire::PreparedMsg& msg) {
-  (void)from;
-  auto it = coord_txns_.find(msg.txn_id);
-  if (it == coord_txns_.end()) return;
-  CoordinatorTxn& coord = it->second;
-  if (coord.collected.count(msg.info.partition) > 0) return;  // Duplicate.
-
-  if (msg.info.vote) {
-    Charge(config_.cost.signature_op);
-    Status proof_ok =
-        msg.proof.Verify(*verifier_, config_.certificate_size(),
-                         config_.ClusterMembers(msg.info.partition));
-    if (!proof_ok.ok()) return;
-  }
-  coord.collected[msg.info.partition] = msg.info;
-  MaybeDecide2pc(msg.txn_id);
-}
-
-void TransEdgeNode::MaybeDecide2pc(TxnId txn_id) {
-  auto it = coord_txns_.find(txn_id);
-  if (it == coord_txns_.end()) return;
-  CoordinatorTxn& coord = it->second;
-  if (coord.decided) return;
-  if (coord.collected.size() < coord.txn.participants.size()) return;
-
-  bool decision = true;
-  std::vector<storage::PreparedInfo> infos;
-  infos.reserve(coord.collected.size());
-  for (const auto& [partition, info] : coord.collected) {
-    decision = decision && info.vote;
-    infos.push_back(info);
-  }
-  coord.decided = true;
-  coord.decision = decision;
-  // The decision enters the prepared-batches structure; the transaction
-  // reaches the committed segment when its prepare group is the oldest
-  // (Definition 4.1) and the next batch is built.
-  Status s = prepared_batches_.RecordDecision(txn_id, decision, infos);
-  (void)s;  // NotFound is impossible: we prepared it ourselves.
-}
-
-void TransEdgeNode::HandleCommitRecord(sim::ActorId from,
-                                       const wire::CommitRecordMsg& msg) {
-  (void)from;
-  Charge(config_.cost.signature_op);
-  Status proof_ok =
-      msg.proof.Verify(*verifier_, config_.certificate_size(),
-                       config_.ClusterMembers(msg.proof.partition));
-  if (!proof_ok.ok()) return;
-  // AlreadyExists (duplicate fan-out) and NotFound (we voted no and never
-  // prepared) are both benign.
-  Status s = prepared_batches_.RecordDecision(msg.txn_id, msg.commit,
-                                              msg.participant_info);
-  (void)s;
-}
-
-// ---------------------------------------------------------------------------
-// Read-only protocol (the paper's contribution, server side)
-// ---------------------------------------------------------------------------
-
-wire::RoReply TransEdgeNode::BuildRoReply(uint64_t request_id,
-                                          const std::vector<Key>& keys,
-                                          BatchId batch_id,
-                                          bool second_round) {
-  const storage::LogEntry* entry = log_.Get(batch_id).value();
-  wire::RoReply reply;
-  reply.request_id = request_id;
-  reply.partition = partition_;
-  reply.batch_id = batch_id;
-  reply.certificate = entry->certificate;
-  reply.cd_vector = entry->batch.ro.cd_vector;
-  reply.lce = entry->batch.ro.lce;
-  reply.timestamp_us = entry->batch.ro.timestamp_us;
-  reply.second_round = second_round;
-
-  assert(batch_id >= snapshot_base_);
-  const merkle::MerkleTree::Snapshot& snap =
-      snapshots_[static_cast<size_t>(batch_id - snapshot_base_)];
-  for (const Key& key : keys) {
-    wire::AuthenticatedRead read;
-    read.key = key;
-    Result<storage::VersionedValue> value = store_.GetAsOf(key, batch_id);
-    if (value.ok()) {
-      read.found = true;
-      read.value = value->value;
-      read.version = value->version;
-    }
-    Result<merkle::MerkleProof> proof = merkle::MerkleTree::ProveAt(snap, key);
-    if (proof.ok()) read.proof = std::move(proof).value();
-    reply.entries.push_back(std::move(read));
-  }
-
-  if (byzantine_ == ByzantineBehavior::kTamperReadValue) {
-    for (wire::AuthenticatedRead& read : reply.entries) {
-      if (read.found && !read.value.empty()) {
-        read.value[0] ^= 0xff;  // Client-side Merkle check must catch this.
-        break;
-      }
-    }
-  }
-  return reply;
-}
-
-void TransEdgeNode::HandleRoRequest(sim::ActorId from,
-                                    const wire::RoRequest& msg) {
-  sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
-  sim::Time done =
-      Charge(config_.cost.ro_serve_per_key *
-                 static_cast<sim::Time>(msg.keys.size()) +
-             config_.cost.signature_op);
-  if (log_.empty()) {
-    // No certified state yet; reply unserviceable, the client retries.
-    wire::RoReply reply;
-    reply.request_id = msg.request_id;
-    reply.partition = partition_;
-    reply.batch_id = kNoBatch;
-    Send(client, Share(std::move(reply)), done);
-    return;
-  }
-  BatchId batch_id = log_.LastBatchId();
-  if (byzantine_ == ByzantineBehavior::kStaleSnapshot && batch_id > 0) {
-    // Old but certified (bounded by the retained snapshot window).
-    batch_id = std::max<BatchId>(snapshot_base_, batch_id - 64);
-  }
-  ++stats_.ro_round1_served;
-  Send(client, Share(BuildRoReply(msg.request_id, msg.keys, batch_id, false)),
-       done);
-}
-
-BatchId TransEdgeNode::FindBatchWithLce(BatchId min_lce) const {
-  if (log_.empty()) return kNoBatch;
-  // LCE is non-decreasing across batches: binary search for the earliest
-  // batch satisfying the dependency. Snapshots older than the retained
-  // window cannot be served, so the search floor is the window base.
-  BatchId lo = snapshot_base_;
-  BatchId hi = log_.LastBatchId();
-  if (log_.Get(hi).value()->batch.ro.lce < min_lce) return kNoBatch;
-  while (lo < hi) {
-    BatchId mid = lo + (hi - lo) / 2;
-    if (log_.Get(mid).value()->batch.ro.lce >= min_lce) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
-}
-
-void TransEdgeNode::HandleRoBatchRequest(sim::ActorId from,
-                                         const wire::RoBatchRequest& msg) {
-  sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
-  BatchId batch_id = FindBatchWithLce(msg.min_lce);
-  if (batch_id == kNoBatch) {
-    // The dependency has prepared here but not yet committed; park the
-    // request until a batch with a sufficient LCE is written.
-    ++stats_.ro_round2_parked;
-    ParkedRo parked;
-    parked.client = client;
-    parked.request = msg;
-    parked_ro_.push_back(std::move(parked));
-    return;
-  }
-  sim::Time done =
-      Charge(config_.cost.ro_serve_per_key *
-                 static_cast<sim::Time>(msg.keys.size()) +
-             config_.cost.signature_op);
-  ++stats_.ro_round2_served;
-  Send(client, Share(BuildRoReply(msg.request_id, msg.keys, batch_id, true)),
-       done);
-}
-
-void TransEdgeNode::ServeParkedRoRequests() {
-  if (parked_ro_.empty()) return;
-  std::vector<ParkedRo> still_parked;
-  for (ParkedRo& parked : parked_ro_) {
-    BatchId batch_id = FindBatchWithLce(parked.request.min_lce);
-    if (batch_id == kNoBatch) {
-      still_parked.push_back(std::move(parked));
-      continue;
-    }
-    sim::Time done =
-        Charge(config_.cost.ro_serve_per_key *
-                   static_cast<sim::Time>(parked.request.keys.size()) +
-               config_.cost.signature_op);
-    ++stats_.ro_round2_served;
-    Send(parked.client,
-         Share(BuildRoReply(parked.request.request_id, parked.request.keys,
-                            batch_id, true)),
-         done);
-  }
-  parked_ro_ = std::move(still_parked);
-}
-
-// ---------------------------------------------------------------------------
-// Augustus baseline (locking read-only transactions)
-// ---------------------------------------------------------------------------
-
-void TransEdgeNode::HandleAugustusRoRequest(
-    sim::ActorId from, const wire::AugustusRoRequest& msg) {
-  sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
-  ro_locks_.Lock(msg.request_id, msg.keys);
-
-  AugustusPending pending;
-  pending.client = client;
-  pending.keys = msg.keys;
-  pending.votes = 1;  // Our own.
-  augustus_pending_[msg.request_id] = std::move(pending);
-
-  wire::AugustusVoteRequest vote;
-  vote.request_id = msg.request_id;
-  vote.keys = msg.keys;
-  vote.snapshot_batch = log_.LastBatchId();
-  BroadcastToCluster(Share(std::move(vote)),
-                     Charge(config_.cost.ro_serve_per_key *
-                            static_cast<sim::Time>(msg.keys.size())));
-}
-
-void TransEdgeNode::HandleAugustusVoteRequest(
-    sim::ActorId from, const wire::AugustusVoteRequest& msg) {
-  wire::AugustusVoteReply reply;
-  reply.request_id = msg.request_id;
-  reply.vote = true;
-  Encoder enc;
-  enc.PutString("augustus-vote");
-  enc.PutU64(msg.request_id);
-  reply.signature = signer_->Sign(enc.buffer());
-  Send(from, Share(std::move(reply)), Charge(config_.cost.signature_op));
-}
-
-void TransEdgeNode::HandleAugustusVoteReply(
-    sim::ActorId from, const wire::AugustusVoteReply& msg) {
-  (void)from;
-  auto it = augustus_pending_.find(msg.request_id);
-  if (it == augustus_pending_.end()) return;
-  AugustusPending& pending = it->second;
-  if (msg.vote) ++pending.votes;
-  if (pending.replied || pending.votes < config_.quorum_size()) return;
-  pending.replied = true;
-
-  wire::AugustusRoReply reply;
-  reply.request_id = msg.request_id;
-  reply.partition = partition_;
-  reply.votes = pending.votes;
-  for (const Key& key : pending.keys) {
-    wire::AuthenticatedRead read;
-    read.key = key;
-    Result<storage::VersionedValue> value = store_.Get(key);
-    if (value.ok()) {
-      read.found = true;
-      read.value = value->value;
-      read.version = value->version;
-    }
-    reply.entries.push_back(std::move(read));
-  }
-  ++stats_.augustus_ro_served;
-  Send(pending.client, Share(std::move(reply)),
-       Charge(config_.cost.ro_serve_per_key *
-              static_cast<sim::Time>(pending.keys.size())));
-}
-
-void TransEdgeNode::HandleAugustusRelease(sim::ActorId from,
-                                          const wire::AugustusRelease& msg) {
-  (void)from;
-  ro_locks_.Release(msg.request_id);
-  augustus_pending_.erase(msg.request_id);
+  // Engine follow-ups, in the same order the monolithic replica used:
+  // leader bookkeeping + local client replies, 2PC legs, parked
+  // read-only work, the next queued consensus instance, and finally a
+  // size-triggered re-proposal.
+  pipeline_->OnBatchApplied(logged.batch);
+  two_pc_->OnBatchApplied(logged.batch, logged.certificate);
+  read_only_->ServeParkedRequests();
+  consensus_->AdvanceConsensus();
+  pipeline_->MaybeProposeOnSize();
 }
 
 }  // namespace transedge::core

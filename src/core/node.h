@@ -2,16 +2,11 @@
 #define TRANSEDGE_CORE_NODE_H_
 
 #include <deque>
-#include <map>
 #include <memory>
-#include <optional>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "core/cd_vector.h"
 #include "core/config.h"
+#include "core/node_context.h"
 #include "crypto/signer.h"
 #include "merkle/merkle_tree.h"
 #include "sim/environment.h"
@@ -24,25 +19,14 @@
 
 namespace transedge::core {
 
-/// Fault-injection behaviours for byzantine tests. All of them operate
-/// strictly with the node's own signing capability — a byzantine node can
-/// lie about content but cannot forge other nodes' signatures.
-enum class ByzantineBehavior {
-  kNone,
-  /// Leader tampers with the value bytes of read-only responses; clients
-  /// must detect this through Merkle verification.
-  kTamperReadValue,
-  /// Leader serves read-only responses from an old (but certified)
-  /// snapshot; detectable only through the freshness window (§4.4.2).
-  kStaleSnapshot,
-  /// Leader proposes different batches to different halves of the
-  /// cluster; consensus must not certify either.
-  kEquivocate,
-  /// Crash-stop: the node ignores all input.
-  kCrash,
-};
+class AugustusBaseline;
+class BatchPipeline;
+class ConsensusEngine;
+class ReadOnlyService;
+class TwoPcCoordinator;
 
-/// Counters exposed for tests and the bench harness.
+/// Counters exposed for tests and the bench harness. Aggregated from the
+/// per-engine counters on access.
 struct NodeStats {
   uint64_t local_committed = 0;
   uint64_t local_aborted = 0;
@@ -57,54 +41,27 @@ struct NodeStats {
   uint64_t augustus_ro_served = 0;
 };
 
-/// Tracks the shared read locks of Augustus-style read-only transactions
-/// (baseline for Figures 5–7 and Table 1). TransEdge itself never locks.
-class RoLockTable {
- public:
-  void Lock(uint64_t request_id, const std::vector<Key>& keys);
-  void Release(uint64_t request_id);
-
-  /// True if any key in `txn`'s write set is share-locked.
-  bool BlocksWriter(const Transaction& txn) const;
-
-  size_t locked_key_count() const { return shared_.size(); }
-
- private:
-  std::unordered_map<Key, int> shared_;
-  std::unordered_map<uint64_t, std::vector<Key>> by_request_;
-};
-
-/// Key-indexed footprint of a set of in-flight transactions, used for
-/// rules 2 and 3 of Definition 3.1 without quadratic scans.
-class FootprintIndex {
- public:
-  void Add(const Transaction& txn);
-  void Remove(const Transaction& txn);
-
-  /// True if `txn` has a rw/wr/ww conflict with any indexed transaction.
-  bool ConflictsWith(const Transaction& txn) const;
-
-  size_t indexed_reads() const { return readers_.size(); }
-  size_t indexed_writes() const { return writers_.size(); }
-
- private:
-  std::unordered_map<Key, int> readers_;
-  std::unordered_map<Key, int> writers_;
-};
-
 /// One TransEdge replica (one edge node).
 ///
-/// Every replica runs: the intra-cluster consensus on batches (§3.2), the
-/// storage stack (versioned store + Merkle tree + SMR log), and the
-/// read-only serving paths (§4.2–4.3). The replica whose index matches
-/// the current view additionally acts as leader: it admits transactions,
-/// builds batches (Figure 2), and drives the 2PC steps of distributed
-/// transactions (§3.3).
-class TransEdgeNode : public sim::Actor {
+/// The replica is a thin message router over five focused subsystem
+/// engines plus the storage stack it owns (versioned store + Merkle tree
+/// + snapshot window + SMR log):
+///
+///   - ConsensusEngine:  intra-cluster consensus on batches (§3.2)
+///   - BatchPipeline:    leader admission and batch building (Figure 2)
+///   - TwoPcCoordinator: cross-cluster 2PC (§3.3)
+///   - ReadOnlyService:  authenticated read-only serving (§4.2–4.4)
+///   - AugustusBaseline: locking read-only baseline (Figures 5–7)
+///
+/// Engines reach the node only through the NodeContext interface
+/// (clock/send/sign/storage) and through hooks wired here; they never
+/// include each other.
+class TransEdgeNode : public sim::Actor, private NodeContext {
  public:
   TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
                 sim::Environment* env, std::unique_ptr<crypto::Signer> signer,
                 const crypto::Verifier* verifier);
+  ~TransEdgeNode() override;
 
   /// Installs the pre-replicated initial state (identical across the
   /// cluster). Must be called before the simulation starts.
@@ -115,17 +72,15 @@ class TransEdgeNode : public sim::Actor {
   void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override;
 
   // Introspection for tests and benches.
-  crypto::NodeId id() const { return id_; }
-  PartitionId partition() const { return partition_; }
-  uint64_t view() const { return view_; }
-  bool IsLeader() const { return config_.LeaderOf(partition_, view_) == id_; }
+  crypto::NodeId id() const override { return id_; }
+  PartitionId partition() const override { return partition_; }
+  uint64_t view() const;
+  bool IsLeader() const override;
   const storage::SmrLog& log() const { return log_; }
   const storage::VersionedStore& store() const { return store_; }
   const merkle::MerkleTree& tree() const { return tree_; }
-  const NodeStats& stats() const { return stats_; }
-  size_t in_progress_size() const {
-    return inprog_local_.size() + inprog_prepared_.size();
-  }
+  const NodeStats& stats() const;
+  size_t in_progress_size() const;
 
   void SetByzantineBehavior(ByzantineBehavior behavior) {
     byzantine_ = behavior;
@@ -133,123 +88,50 @@ class TransEdgeNode : public sim::Actor {
   ByzantineBehavior byzantine_behavior() const { return byzantine_; }
 
  private:
-  // --- Consensus ----------------------------------------------------------
-  struct ConsensusInstance {
-    bool has_batch = false;
-    storage::Batch batch;
-    crypto::Digest digest;
-    bool validated = false;
-    bool validation_failed = false;
-    merkle::MerkleTree post_tree;  // Tree with the batch's writes applied.
-    /// Leader-shared tree (SystemConfig::simulate_shared_merkle).
-    merkle::MerkleTree::Snapshot adopted_snapshot;
-    /// Votes carry the digest the voter saw, so an equivocating leader's
-    /// two batch variants split the vote and neither reaches quorum.
-    std::map<crypto::NodeId, crypto::Digest> prepare_votes;
-    std::map<crypto::NodeId, crypto::Digest> commit_votes;
-    std::map<crypto::NodeId, crypto::Signature> cert_shares;
-    bool sent_prepare = false;
-    bool sent_commit = false;
-    bool decided = false;
+  // --- NodeContext implementation (the engines' window on the node) -------
+  const SystemConfig& config() const override { return config_; }
+  const std::vector<crypto::NodeId>& cluster_members() const override {
+    return cluster_members_;
+  }
+  ByzantineBehavior byzantine() const override { return byzantine_; }
+  sim::Time now() const override { return env_->now(); }
+  sim::Time Charge(sim::Time cost) override {
+    return cpu_.Charge(env_->now(), cost);
+  }
+  sim::Time busy_until() const override { return cpu_.busy_until(); }
+  void Schedule(sim::Time delay, std::function<void()> fn) override {
+    env_->Schedule(delay, std::move(fn));
+  }
+  void Send(crypto::NodeId to, const sim::MessagePtr& msg,
+            sim::Time at) override;
+  void BroadcastToCluster(const sim::MessagePtr& msg, sim::Time at) override;
+  void SendToCluster(PartitionId p, const sim::MessagePtr& msg,
+                     sim::Time at) override;
+  crypto::Signature Sign(const Bytes& payload) override {
+    return signer_->Sign(payload);
+  }
+  const crypto::Verifier& verifier() const override { return *verifier_; }
+  storage::VersionedStore& mutable_store() override { return store_; }
+  merkle::MerkleTree& mutable_tree() override { return tree_; }
+  storage::SmrLog& mutable_log() override { return log_; }
+  txn::OccValidator& validator() override { return validator_; }
+  txn::PreparedBatches& prepared_batches() override {
+    return prepared_batches_;
+  }
+  const storage::PartitionMap& partition_map() const override {
+    return partition_map_;
+  }
+  FootprintIndex& pending_footprint() override { return pending_index_; }
+  BatchId snapshot_base() const override { return snapshot_base_; }
+  const merkle::MerkleTree::Snapshot& SnapshotAt(
+      BatchId batch_id) const override;
 
-    explicit ConsensusInstance(int merkle_depth) : post_tree(merkle_depth) {}
-  };
-
-  void HandlePrePrepare(sim::ActorId from, const wire::PrePrepareMsg& msg);
-  void HandlePrepare(sim::ActorId from, const wire::PrepareMsg& msg);
-  void HandleCommit(sim::ActorId from, const wire::CommitMsg& msg);
-  void HandleViewChange(sim::ActorId from, const wire::ViewChangeMsg& msg);
-
-  /// Re-evaluates the instance for the next undecided batch id: validates
-  /// a pending pre-prepare, emits our votes, and decides when quorums are
-  /// reached.
-  void AdvanceConsensus();
-
-  /// Definition 3.1 re-validation plus read-only-segment recomputation
-  /// for a proposed batch. On success fills `instance->post_tree` and
-  /// marks it validated.
-  Status ValidateProposedBatch(ConsensusInstance* instance);
-
-  /// Appends the decided batch to the log and applies it (§3.4 updates
-  /// happen during BuildBatch; apply makes them durable and triggers the
-  /// 2PC follow-ups and parked read-only work).
-  void ApplyDecidedBatch(ConsensusInstance instance);
-
-  void StartViewChangeTimer(BatchId batch_id);
-  void InitiateViewChange(uint64_t new_view);
-  void MaybeAdoptView(uint64_t target);
-
-  // --- Leader: batching and admission -------------------------------------
-  void OnBatchTimer();
-  bool ShouldPropose() const;
-  void ProposeBatch();
-  storage::Batch BuildBatch();
-
-  /// Definition 3.1 admission check for a transaction whose operations
-  /// have been restricted to this partition.
-  Status AdmitCheck(const Transaction& restricted);
-
-  /// Restricts `txn`'s read/write sets to keys owned by this partition.
-  Transaction RestrictToPartition(const Transaction& txn) const;
-
-  // --- Client transactions -------------------------------------------------
-  void HandleClientRead(sim::ActorId from, const wire::ClientReadRequest& msg);
-  void HandleCommitRequest(sim::ActorId from, const wire::CommitRequest& msg);
-  void ReplyCommit(sim::ActorId client, TxnId txn_id, bool committed,
-                   const std::string& reason, sim::Time at);
-
-  // --- 2PC -----------------------------------------------------------------
-  struct CoordinatorTxn {
-    Transaction txn;
-    sim::ActorId client = 0;
-    std::map<PartitionId, storage::PreparedInfo> collected;
-    bool decided = false;
-    bool decision = false;
-  };
-
-  void HandleCoordPrepare(sim::ActorId from, const wire::CoordPrepareMsg& msg);
-  void HandlePrepared(sim::ActorId from, const wire::PreparedMsg& msg);
-  void HandleCommitRecord(sim::ActorId from,
-                          const wire::CommitRecordMsg& msg);
-  void MaybeDecide2pc(TxnId txn_id);
-
-  /// Sends `msg` to f+1 replicas of cluster `p` (the paper's redundancy
-  /// against a malicious receiver dropping 2PC traffic, §3.3.1).
-  void SendToCluster(PartitionId p, const sim::MessagePtr& msg, sim::Time at);
-
-  // --- Read-only protocol --------------------------------------------------
-  void HandleRoRequest(sim::ActorId from, const wire::RoRequest& msg);
-  void HandleRoBatchRequest(sim::ActorId from,
-                            const wire::RoBatchRequest& msg);
-  /// Builds an authenticated response from log position `batch_id`.
-  wire::RoReply BuildRoReply(uint64_t request_id,
-                             const std::vector<Key>& keys, BatchId batch_id,
-                             bool second_round);
-  void ServeParkedRoRequests();
-  /// Earliest batch whose LCE satisfies `min_lce`; kNoBatch when none.
-  BatchId FindBatchWithLce(BatchId min_lce) const;
-
-  // --- Augustus baseline ---------------------------------------------------
-  struct AugustusPending {
-    sim::ActorId client = 0;
-    std::vector<Key> keys;
-    uint32_t votes = 0;
-    bool replied = false;
-  };
-  void HandleAugustusRoRequest(sim::ActorId from,
-                               const wire::AugustusRoRequest& msg);
-  void HandleAugustusVoteRequest(sim::ActorId from,
-                                 const wire::AugustusVoteRequest& msg);
-  void HandleAugustusVoteReply(sim::ActorId from,
-                               const wire::AugustusVoteReply& msg);
-  void HandleAugustusRelease(sim::ActorId from,
-                             const wire::AugustusRelease& msg);
-
-  // --- Helpers -------------------------------------------------------------
-  sim::Time Charge(sim::Time cost) { return cpu_.Charge(env_->now(), cost); }
-  void Send(crypto::NodeId to, const sim::MessagePtr& msg, sim::Time at);
-  void BroadcastToCluster(const sim::MessagePtr& msg, sim::Time at);
-  sim::Time BatchComputeCost(size_t batch_size, sim::Time per_txn) const;
+  /// Applies a decided batch to the storage stack (store writes, prepare
+  /// group transitions, tree/snapshot/log updates) and fans the follow-up
+  /// work out to the engines. Wired as ConsensusEngine's on_decided hook.
+  void ApplyDecidedBatch(storage::Batch batch,
+                         storage::BatchCertificate certificate,
+                         merkle::MerkleTree post_tree);
 
   SystemConfig config_;
   crypto::NodeId id_;
@@ -260,7 +142,6 @@ class TransEdgeNode : public sim::Actor {
   storage::PartitionMap partition_map_;
   std::vector<crypto::NodeId> cluster_members_;
 
-  uint64_t view_ = 0;
   sim::CpuMeter cpu_;
   ByzantineBehavior byzantine_ = ByzantineBehavior::kNone;
 
@@ -275,34 +156,16 @@ class TransEdgeNode : public sim::Actor {
   storage::SmrLog log_;
   txn::OccValidator validator_;
   txn::PreparedBatches prepared_batches_;
+  FootprintIndex pending_index_;  // Prepared-but-undecided distributed txns.
 
-  // Leader state.
-  std::vector<Transaction> inprog_local_;
-  std::vector<Transaction> inprog_prepared_;
-  FootprintIndex inprog_index_;    // In-progress + in-flight batches.
-  FootprintIndex pending_index_;   // Prepared-but-undecided distributed txns.
-  std::unordered_map<TxnId, sim::ActorId> local_waiting_clients_;
-  std::unordered_map<TxnId, CoordinatorTxn> coord_txns_;
-  std::unordered_set<TxnId> participant_pending_;  // We prepared, not coord.
-  std::unordered_set<TxnId> seen_txns_;            // 2PC dedup.
+  // Subsystem engines (wired in the constructor).
+  std::unique_ptr<ConsensusEngine> consensus_;
+  std::unique_ptr<BatchPipeline> pipeline_;
+  std::unique_ptr<TwoPcCoordinator> two_pc_;
+  std::unique_ptr<ReadOnlyService> read_only_;
+  std::unique_ptr<AugustusBaseline> augustus_;
 
-  // Consensus state.
-  std::map<BatchId, ConsensusInstance> instances_;
-  bool proposing_ = false;
-  std::map<uint64_t, std::set<crypto::NodeId>> view_change_votes_;
-
-  // Parked second-round read-only requests (waiting for an LCE).
-  struct ParkedRo {
-    sim::ActorId client = 0;
-    wire::RoBatchRequest request;
-  };
-  std::vector<ParkedRo> parked_ro_;
-
-  // Augustus baseline state.
-  RoLockTable ro_locks_;
-  std::unordered_map<uint64_t, AugustusPending> augustus_pending_;
-
-  NodeStats stats_;
+  mutable NodeStats aggregated_stats_;
 };
 
 }  // namespace transedge::core

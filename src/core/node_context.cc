@@ -1,0 +1,37 @@
+#include "core/node_context.h"
+
+#include "wire/message.h"
+
+namespace transedge::core {
+
+Transaction NodeContext::RestrictToPartition(const Transaction& txn) const {
+  Transaction out;
+  out.id = txn.id;
+  out.participants = txn.participants;
+  out.coordinator = txn.coordinator;
+  out.read_set = partition_map().ReadsFor(txn, partition());
+  out.write_set = partition_map().WritesFor(txn, partition());
+  return out;
+}
+
+sim::Time NodeContext::BatchComputeCost(size_t batch_size,
+                                        sim::Time per_txn) const {
+  double quad = config().cost.batch_quadratic_ns *
+                static_cast<double>(batch_size) *
+                static_cast<double>(batch_size) / 1000.0;
+  return config().cost.batch_overhead +
+         per_txn * static_cast<sim::Time>(batch_size) +
+         static_cast<sim::Time>(quad);
+}
+
+void NodeContext::ReplyCommit(sim::ActorId client, TxnId txn_id,
+                              bool committed, const std::string& reason,
+                              sim::Time at) {
+  wire::CommitReply reply;
+  reply.txn_id = txn_id;
+  reply.committed = committed;
+  reply.reason = reason;
+  Send(client, ShareMsg(std::move(reply)), at);
+}
+
+}  // namespace transedge::core

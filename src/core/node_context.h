@@ -1,0 +1,118 @@
+#ifndef TRANSEDGE_CORE_NODE_CONTEXT_H_
+#define TRANSEDGE_CORE_NODE_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/footprint_index.h"
+#include "crypto/signer.h"
+#include "merkle/merkle_tree.h"
+#include "sim/actor.h"
+#include "sim/time.h"
+#include "storage/partition_map.h"
+#include "storage/smr_log.h"
+#include "storage/versioned_store.h"
+#include "txn/occ_validator.h"
+#include "txn/prepared_batches.h"
+
+namespace transedge::core {
+
+/// Fault-injection behaviours for byzantine tests. All of them operate
+/// strictly with the node's own signing capability — a byzantine node can
+/// lie about content but cannot forge other nodes' signatures.
+enum class ByzantineBehavior {
+  kNone,
+  /// Leader tampers with the value bytes of read-only responses; clients
+  /// must detect this through Merkle verification.
+  kTamperReadValue,
+  /// Leader serves read-only responses from an old (but certified)
+  /// snapshot; detectable only through the freshness window (§4.4.2).
+  kStaleSnapshot,
+  /// Leader proposes different batches to different halves of the
+  /// cluster; consensus must not certify either.
+  kEquivocate,
+  /// Crash-stop: the node ignores all input.
+  kCrash,
+};
+
+/// The narrow seam between the replica's subsystem engines and the node
+/// that hosts them: identity, simulated clock/CPU, network primitives,
+/// signing, and the shared storage stack. Engines (consensus, batching,
+/// 2PC, read-only serving, baselines) talk only to this interface and to
+/// hooks the node wires at construction — never to each other.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  // --- Identity & topology -----------------------------------------------
+  virtual const SystemConfig& config() const = 0;
+  virtual crypto::NodeId id() const = 0;
+  virtual PartitionId partition() const = 0;
+  virtual const std::vector<crypto::NodeId>& cluster_members() const = 0;
+  /// Leader status under the node's current view (owned by consensus).
+  virtual bool IsLeader() const = 0;
+  virtual ByzantineBehavior byzantine() const = 0;
+
+  // --- Simulated clock & CPU ---------------------------------------------
+  virtual sim::Time now() const = 0;
+  /// Books `cost` on the replica's single CPU; returns completion time.
+  virtual sim::Time Charge(sim::Time cost) = 0;
+  virtual sim::Time busy_until() const = 0;
+  virtual void Schedule(sim::Time delay, std::function<void()> fn) = 0;
+
+  // --- Network -------------------------------------------------------------
+  virtual void Send(crypto::NodeId to, const sim::MessagePtr& msg,
+                    sim::Time at) = 0;
+  virtual void BroadcastToCluster(const sim::MessagePtr& msg,
+                                  sim::Time at) = 0;
+  /// Sends `msg` to f+1 replicas of cluster `p` (the paper's redundancy
+  /// against a malicious receiver dropping 2PC traffic, §3.3.1).
+  virtual void SendToCluster(PartitionId p, const sim::MessagePtr& msg,
+                             sim::Time at) = 0;
+
+  // --- Crypto ---------------------------------------------------------------
+  virtual crypto::Signature Sign(const Bytes& payload) = 0;
+  virtual const crypto::Verifier& verifier() const = 0;
+
+  // --- Shared storage stack (owned by the node) ----------------------------
+  virtual storage::VersionedStore& mutable_store() = 0;
+  virtual merkle::MerkleTree& mutable_tree() = 0;
+  virtual storage::SmrLog& mutable_log() = 0;
+  virtual txn::OccValidator& validator() = 0;
+  virtual txn::PreparedBatches& prepared_batches() = 0;
+  virtual const storage::PartitionMap& partition_map() const = 0;
+  /// Footprint of prepared-but-undecided distributed transactions (rule 3
+  /// of Definition 3.1); shared by admission and batch re-validation.
+  virtual FootprintIndex& pending_footprint() = 0;
+
+  /// Sliding window of per-batch Merkle snapshots for historical
+  /// (second-round) reads. `SnapshotAt` requires
+  /// `batch_id >= snapshot_base()`.
+  virtual BatchId snapshot_base() const = 0;
+  virtual const merkle::MerkleTree::Snapshot& SnapshotAt(
+      BatchId batch_id) const = 0;
+
+  // --- Shared helpers (implemented on top of the virtuals) -----------------
+  /// Restricts `txn`'s read/write sets to keys owned by this partition.
+  Transaction RestrictToPartition(const Transaction& txn) const;
+
+  /// Simulated cost of per-batch work with a superlinear pressure term.
+  sim::Time BatchComputeCost(size_t batch_size, sim::Time per_txn) const;
+
+  /// Sends a CommitReply to `client`.
+  void ReplyCommit(sim::ActorId client, TxnId txn_id, bool committed,
+                   const std::string& reason, sim::Time at);
+};
+
+/// Wraps a wire message for the simulated network.
+template <typename T>
+std::shared_ptr<const T> ShareMsg(T msg) {
+  return std::make_shared<const T>(std::move(msg));
+}
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_NODE_CONTEXT_H_

@@ -1,0 +1,162 @@
+#include "core/read_only_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace transedge::core {
+
+ReadOnlyService::ReadOnlyService(NodeContext* ctx) : ctx_(ctx) {}
+
+void ReadOnlyService::HandleClientRead(sim::ActorId from,
+                                       const wire::ClientReadRequest& msg) {
+  wire::ClientReadReply reply;
+  reply.request_id = msg.request_id;
+  reply.key = msg.key;
+  Result<storage::VersionedValue> value = ctx_->mutable_store().Get(msg.key);
+  if (value.ok()) {
+    reply.found = true;
+    reply.value = value->value;
+    reply.version = value->version;
+  }
+  sim::Time done = ctx_->Charge(ctx_->config().cost.ro_serve_per_key);
+  ctx_->Send(msg.reply_to != 0 ? msg.reply_to : from, ShareMsg(std::move(reply)),
+             done);
+}
+
+wire::RoReply ReadOnlyService::BuildRoReply(uint64_t request_id,
+                                            const std::vector<Key>& keys,
+                                            BatchId batch_id,
+                                            bool second_round) {
+  const storage::LogEntry* entry = ctx_->mutable_log().Get(batch_id).value();
+  wire::RoReply reply;
+  reply.request_id = request_id;
+  reply.partition = ctx_->partition();
+  reply.batch_id = batch_id;
+  reply.certificate = entry->certificate;
+  reply.cd_vector = entry->batch.ro.cd_vector;
+  reply.lce = entry->batch.ro.lce;
+  reply.timestamp_us = entry->batch.ro.timestamp_us;
+  reply.second_round = second_round;
+
+  const merkle::MerkleTree::Snapshot& snap = ctx_->SnapshotAt(batch_id);
+  for (const Key& key : keys) {
+    wire::AuthenticatedRead read;
+    read.key = key;
+    Result<storage::VersionedValue> value =
+        ctx_->mutable_store().GetAsOf(key, batch_id);
+    if (value.ok()) {
+      read.found = true;
+      read.value = value->value;
+      read.version = value->version;
+    }
+    Result<merkle::MerkleProof> proof = merkle::MerkleTree::ProveAt(snap, key);
+    if (proof.ok()) read.proof = std::move(proof).value();
+    reply.entries.push_back(std::move(read));
+  }
+
+  if (ctx_->byzantine() == ByzantineBehavior::kTamperReadValue) {
+    for (wire::AuthenticatedRead& read : reply.entries) {
+      if (read.found && !read.value.empty()) {
+        read.value[0] ^= 0xff;  // Client-side Merkle check must catch this.
+        break;
+      }
+    }
+  }
+  return reply;
+}
+
+void ReadOnlyService::HandleRoRequest(sim::ActorId from,
+                                      const wire::RoRequest& msg) {
+  sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
+  sim::Time done =
+      ctx_->Charge(ctx_->config().cost.ro_serve_per_key *
+                       static_cast<sim::Time>(msg.keys.size()) +
+                   ctx_->config().cost.signature_op);
+  if (ctx_->mutable_log().empty()) {
+    // No certified state yet; reply unserviceable, the client retries.
+    wire::RoReply reply;
+    reply.request_id = msg.request_id;
+    reply.partition = ctx_->partition();
+    reply.batch_id = kNoBatch;
+    ctx_->Send(client, ShareMsg(std::move(reply)), done);
+    return;
+  }
+  BatchId batch_id = ctx_->mutable_log().LastBatchId();
+  if (ctx_->byzantine() == ByzantineBehavior::kStaleSnapshot && batch_id > 0) {
+    // Old but certified (bounded by the retained snapshot window).
+    batch_id = std::max<BatchId>(ctx_->snapshot_base(), batch_id - 64);
+  }
+  ++stats_.ro_round1_served;
+  ctx_->Send(client,
+             ShareMsg(BuildRoReply(msg.request_id, msg.keys, batch_id, false)),
+             done);
+}
+
+BatchId ReadOnlyService::FindBatchWithLce(BatchId min_lce) const {
+  const storage::SmrLog& log = ctx_->mutable_log();
+  if (log.empty()) return kNoBatch;
+  // LCE is non-decreasing across batches: binary search for the earliest
+  // batch satisfying the dependency. Snapshots older than the retained
+  // window cannot be served, so the search floor is the window base.
+  BatchId lo = ctx_->snapshot_base();
+  BatchId hi = log.LastBatchId();
+  if (log.Get(hi).value()->batch.ro.lce < min_lce) return kNoBatch;
+  while (lo < hi) {
+    BatchId mid = lo + (hi - lo) / 2;
+    if (log.Get(mid).value()->batch.ro.lce >= min_lce) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+void ReadOnlyService::HandleRoBatchRequest(sim::ActorId from,
+                                           const wire::RoBatchRequest& msg) {
+  sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
+  BatchId batch_id = FindBatchWithLce(msg.min_lce);
+  if (batch_id == kNoBatch) {
+    // The dependency has prepared here but not yet committed; park the
+    // request until a batch with a sufficient LCE is written.
+    ++stats_.ro_round2_parked;
+    ParkedRo parked;
+    parked.client = client;
+    parked.request = msg;
+    parked_ro_.push_back(std::move(parked));
+    return;
+  }
+  sim::Time done =
+      ctx_->Charge(ctx_->config().cost.ro_serve_per_key *
+                       static_cast<sim::Time>(msg.keys.size()) +
+                   ctx_->config().cost.signature_op);
+  ++stats_.ro_round2_served;
+  ctx_->Send(client,
+             ShareMsg(BuildRoReply(msg.request_id, msg.keys, batch_id, true)),
+             done);
+}
+
+void ReadOnlyService::ServeParkedRequests() {
+  if (parked_ro_.empty()) return;
+  std::vector<ParkedRo> still_parked;
+  for (ParkedRo& parked : parked_ro_) {
+    BatchId batch_id = FindBatchWithLce(parked.request.min_lce);
+    if (batch_id == kNoBatch) {
+      still_parked.push_back(std::move(parked));
+      continue;
+    }
+    sim::Time done =
+        ctx_->Charge(ctx_->config().cost.ro_serve_per_key *
+                         static_cast<sim::Time>(parked.request.keys.size()) +
+                     ctx_->config().cost.signature_op);
+    ++stats_.ro_round2_served;
+    ctx_->Send(parked.client,
+               ShareMsg(BuildRoReply(parked.request.request_id,
+                                     parked.request.keys, batch_id, true)),
+               done);
+  }
+  parked_ro_ = std::move(still_parked);
+}
+
+}  // namespace transedge::core

@@ -1,0 +1,57 @@
+#ifndef TRANSEDGE_CORE_READ_ONLY_SERVICE_H_
+#define TRANSEDGE_CORE_READ_ONLY_SERVICE_H_
+
+#include <vector>
+
+#include "core/node_context.h"
+#include "wire/message.h"
+
+namespace transedge::core {
+
+/// Server side of the paper's read-only protocol (§4.2–4.4): round-1
+/// serving from the latest certified batch, round-2 (historical) serving
+/// from the earliest batch whose LCE satisfies the client's dependency,
+/// parking of round-2 requests whose dependency has not committed yet,
+/// and plain single-key client reads.
+class ReadOnlyService {
+ public:
+  struct Stats {
+    uint64_t ro_round1_served = 0;
+    uint64_t ro_round2_served = 0;
+    uint64_t ro_round2_parked = 0;
+  };
+
+  explicit ReadOnlyService(NodeContext* ctx);
+
+  /// Single-key read while a client assembles a read-write transaction.
+  void HandleClientRead(sim::ActorId from, const wire::ClientReadRequest& msg);
+
+  void HandleRoRequest(sim::ActorId from, const wire::RoRequest& msg);
+  void HandleRoBatchRequest(sim::ActorId from, const wire::RoBatchRequest& msg);
+
+  /// Re-examines parked round-2 requests after the log advanced.
+  void ServeParkedRequests();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Builds an authenticated response from log position `batch_id`.
+  wire::RoReply BuildRoReply(uint64_t request_id, const std::vector<Key>& keys,
+                             BatchId batch_id, bool second_round);
+  /// Earliest batch whose LCE satisfies `min_lce`; kNoBatch when none.
+  BatchId FindBatchWithLce(BatchId min_lce) const;
+
+  NodeContext* ctx_;
+
+  // Parked second-round read-only requests (waiting for an LCE).
+  struct ParkedRo {
+    sim::ActorId client = 0;
+    wire::RoBatchRequest request;
+  };
+  std::vector<ParkedRo> parked_ro_;
+  Stats stats_;
+};
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_READ_ONLY_SERVICE_H_

@@ -1,0 +1,28 @@
+#include "core/ro_lock_table.h"
+
+namespace transedge::core {
+
+void RoLockTable::Lock(uint64_t request_id, const std::vector<Key>& keys) {
+  for (const Key& k : keys) ++shared_[k];
+  by_request_[request_id] = keys;
+}
+
+void RoLockTable::Release(uint64_t request_id) {
+  auto it = by_request_.find(request_id);
+  if (it == by_request_.end()) return;
+  for (const Key& k : it->second) {
+    auto sit = shared_.find(k);
+    if (sit != shared_.end() && --sit->second <= 0) shared_.erase(sit);
+  }
+  by_request_.erase(it);
+}
+
+bool RoLockTable::BlocksWriter(const Transaction& txn) const {
+  if (shared_.empty()) return false;
+  for (const WriteOp& w : txn.write_set) {
+    if (shared_.count(w.key) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace transedge::core

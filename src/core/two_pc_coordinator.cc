@@ -1,0 +1,174 @@
+#include "core/two_pc_coordinator.h"
+
+#include <utility>
+#include <vector>
+
+namespace transedge::core {
+
+TwoPcCoordinator::TwoPcCoordinator(NodeContext* ctx, Hooks hooks)
+    : ctx_(ctx), hooks_(std::move(hooks)) {}
+
+void TwoPcCoordinator::BeginCoordination(const Transaction& txn,
+                                         sim::ActorId client) {
+  CoordinatorTxn coord;
+  coord.txn = txn;
+  coord.client = client;
+  coord_txns_[txn.id] = std::move(coord);
+}
+
+void TwoPcCoordinator::HandleCoordPrepare(sim::ActorId from,
+                                          const wire::CoordPrepareMsg& msg) {
+  (void)from;
+  const Transaction& txn = msg.txn;
+  if (hooks_.already_seen(txn.id)) return;  // Duplicate (f+1 fan-out).
+
+  ctx_->Charge(ctx_->config().cost.signature_op);  // Verify the proof.
+  Status proof_ok =
+      msg.proof.Verify(ctx_->verifier(), ctx_->config().certificate_size(),
+                       ctx_->config().ClusterMembers(msg.coordinator));
+  if (!proof_ok.ok()) return;  // Unauthenticated prepare; drop.
+
+  Status admit = hooks_.admit_prepared(txn);
+  if (!admit.ok()) {
+    // Vote no immediately: we never prepared, so there is nothing to
+    // clean up locally (§3.3.3).
+    wire::PreparedMsg reply;
+    reply.txn_id = txn.id;
+    reply.info.partition = ctx_->partition();
+    reply.info.prepared_in_batch = kNoBatch;
+    reply.info.vote = false;
+    reply.info.cd_vector = CdVector(ctx_->config().num_partitions);
+    ctx_->SendToCluster(msg.coordinator, ShareMsg(std::move(reply)),
+                        ctx_->busy_until());
+    return;
+  }
+
+  participant_pending_.insert(txn.id);
+  hooks_.maybe_propose();
+}
+
+void TwoPcCoordinator::HandlePrepared(sim::ActorId from,
+                                      const wire::PreparedMsg& msg) {
+  (void)from;
+  auto it = coord_txns_.find(msg.txn_id);
+  if (it == coord_txns_.end()) return;
+  CoordinatorTxn& coord = it->second;
+  if (coord.collected.count(msg.info.partition) > 0) return;  // Duplicate.
+
+  if (msg.info.vote) {
+    ctx_->Charge(ctx_->config().cost.signature_op);
+    Status proof_ok = msg.proof.Verify(
+        ctx_->verifier(), ctx_->config().certificate_size(),
+        ctx_->config().ClusterMembers(msg.info.partition));
+    if (!proof_ok.ok()) return;
+  }
+  coord.collected[msg.info.partition] = msg.info;
+  MaybeDecide2pc(msg.txn_id);
+}
+
+void TwoPcCoordinator::MaybeDecide2pc(TxnId txn_id) {
+  auto it = coord_txns_.find(txn_id);
+  if (it == coord_txns_.end()) return;
+  CoordinatorTxn& coord = it->second;
+  if (coord.decided) return;
+  if (coord.collected.size() < coord.txn.participants.size()) return;
+
+  bool decision = true;
+  std::vector<storage::PreparedInfo> infos;
+  infos.reserve(coord.collected.size());
+  for (const auto& [partition, info] : coord.collected) {
+    decision = decision && info.vote;
+    infos.push_back(info);
+  }
+  coord.decided = true;
+  coord.decision = decision;
+  // The decision enters the prepared-batches structure; the transaction
+  // reaches the committed segment when its prepare group is the oldest
+  // (Definition 4.1) and the next batch is built.
+  Status s = ctx_->prepared_batches().RecordDecision(txn_id, decision, infos);
+  (void)s;  // NotFound is impossible: we prepared it ourselves.
+}
+
+void TwoPcCoordinator::HandleCommitRecord(sim::ActorId from,
+                                          const wire::CommitRecordMsg& msg) {
+  (void)from;
+  ctx_->Charge(ctx_->config().cost.signature_op);
+  Status proof_ok =
+      msg.proof.Verify(ctx_->verifier(), ctx_->config().certificate_size(),
+                       ctx_->config().ClusterMembers(msg.proof.partition));
+  if (!proof_ok.ok()) return;
+  // AlreadyExists (duplicate fan-out) and NotFound (we voted no and never
+  // prepared) are both benign.
+  Status s = ctx_->prepared_batches().RecordDecision(msg.txn_id, msg.commit,
+                                                     msg.participant_info);
+  (void)s;
+}
+
+void TwoPcCoordinator::OnBatchApplied(const storage::Batch& logged,
+                                      const storage::BatchCertificate& cert) {
+  if (!ctx_->IsLeader()) return;
+  sim::Time at = ctx_->busy_until();
+
+  // Freshly prepared distributed transactions: drive 2PC.
+  for (const Transaction& t : logged.prepared) {
+    auto coord_it = coord_txns_.find(t.id);
+    if (coord_it != coord_txns_.end()) {
+      // We are the coordinator: record our own prepared info and send
+      // coordinator-prepares to the other participants (step 3).
+      storage::PreparedInfo own;
+      own.partition = ctx_->partition();
+      own.prepared_in_batch = logged.id;
+      own.vote = true;
+      own.cd_vector = logged.ro.cd_vector;
+      coord_it->second.collected[ctx_->partition()] = own;
+      for (PartitionId p : t.participants) {
+        if (p == ctx_->partition()) continue;
+        wire::CoordPrepareMsg msg;
+        msg.txn = t;
+        msg.coordinator = ctx_->partition();
+        msg.proof = cert;
+        ctx_->SendToCluster(p, ShareMsg(std::move(msg)), at);
+      }
+      MaybeDecide2pc(t.id);
+    } else if (participant_pending_.count(t.id) > 0) {
+      // We are a participant: report prepared to the coordinator
+      // (step 5), piggybacking this batch's CD vector.
+      participant_pending_.erase(t.id);
+      wire::PreparedMsg msg;
+      msg.txn_id = t.id;
+      msg.info.partition = ctx_->partition();
+      msg.info.prepared_in_batch = logged.id;
+      msg.info.vote = true;
+      msg.info.cd_vector = logged.ro.cd_vector;
+      msg.proof = cert;
+      ctx_->SendToCluster(t.coordinator, ShareMsg(std::move(msg)), at);
+    }
+  }
+
+  // Commit records just written: notify participants and clients
+  // (steps 7 and 8).
+  for (const storage::CommitRecord& rec : logged.committed) {
+    auto coord_it = coord_txns_.find(rec.txn_id);
+    if (coord_it == coord_txns_.end()) continue;
+    const Transaction& t = coord_it->second.txn;
+    for (PartitionId p : t.participants) {
+      if (p == ctx_->partition()) continue;
+      wire::CommitRecordMsg msg;
+      msg.txn_id = rec.txn_id;
+      msg.commit = rec.committed;
+      msg.participant_info = rec.participant_info;
+      msg.proof = cert;
+      ctx_->SendToCluster(p, ShareMsg(std::move(msg)), at);
+    }
+    if (rec.committed) {
+      ++stats_.dist_committed;
+    } else {
+      ++stats_.dist_aborted;
+    }
+    ctx_->ReplyCommit(coord_it->second.client, rec.txn_id, rec.committed,
+                      rec.committed ? "" : "aborted by 2PC", at);
+    coord_txns_.erase(coord_it);
+  }
+}
+
+}  // namespace transedge::core

@@ -1,0 +1,79 @@
+#ifndef TRANSEDGE_CORE_TWO_PC_COORDINATOR_H_
+#define TRANSEDGE_CORE_TWO_PC_COORDINATOR_H_
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/node_context.h"
+#include "storage/batch.h"
+#include "wire/message.h"
+
+namespace transedge::core {
+
+/// Cross-cluster 2PC for distributed transactions (§3.3): coordinator
+/// state (collected prepared messages, decisions) and participant state
+/// (transactions we prepared for a remote coordinator). Every message
+/// leg uses the f+1 `SendToCluster` redundancy and is backed by a batch
+/// certificate from the sender's cluster.
+///
+/// Admission of participant transactions is delegated to the batch
+/// pipeline through hooks; decisions are recorded into the shared
+/// prepared-batches structure and reach the log via the next batch's
+/// committed segment.
+class TwoPcCoordinator {
+ public:
+  struct Stats {
+    uint64_t dist_committed = 0;
+    uint64_t dist_aborted = 0;
+  };
+
+  struct Hooks {
+    /// 2PC dedup owned by admission (covers client retries too).
+    std::function<bool(TxnId)> already_seen;
+    /// Participant-side admission: marks seen and enqueues on success.
+    std::function<Status(const Transaction&)> admit_prepared;
+    /// Size-triggered proposal check after enqueueing a participant txn.
+    std::function<void()> maybe_propose;
+  };
+
+  TwoPcCoordinator(NodeContext* ctx, Hooks hooks);
+
+  /// Starts coordinating `txn` for `client` (admission already passed).
+  void BeginCoordination(const Transaction& txn, sim::ActorId client);
+
+  void HandleCoordPrepare(sim::ActorId from, const wire::CoordPrepareMsg& msg);
+  void HandlePrepared(sim::ActorId from, const wire::PreparedMsg& msg);
+  void HandleCommitRecord(sim::ActorId from, const wire::CommitRecordMsg& msg);
+
+  /// Leader-side 2PC follow-ups after a decided batch was applied and
+  /// logged: coordinator prepares (step 3), participant prepared reports
+  /// (step 5), and commit-record fan-out + client replies (steps 7–8).
+  void OnBatchApplied(const storage::Batch& logged,
+                      const storage::BatchCertificate& cert);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct CoordinatorTxn {
+    Transaction txn;
+    sim::ActorId client = 0;
+    std::map<PartitionId, storage::PreparedInfo> collected;
+    bool decided = false;
+    bool decision = false;
+  };
+
+  void MaybeDecide2pc(TxnId txn_id);
+
+  NodeContext* ctx_;
+  Hooks hooks_;
+
+  std::unordered_map<TxnId, CoordinatorTxn> coord_txns_;
+  std::unordered_set<TxnId> participant_pending_;  // We prepared, not coord.
+  Stats stats_;
+};
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_TWO_PC_COORDINATOR_H_

@@ -102,13 +102,16 @@ TEST(ByzantineTest, StaleSnapshotIsConsistentButFlaggedByFreshness) {
 
   // Generate enough batches that "latest - 64" exists and is old.
   int committed = 0;
+  // `write_loop` outlives the run, so closures hold a raw self-pointer
+  // (a self-owning shared_ptr capture would be a leaked cycle).
   auto write_loop = std::make_shared<std::function<void()>>();
-  *write_loop = [&, write_loop] {
+  auto* write_fn = write_loop.get();
+  *write_loop = [&, write_fn] {
     if (committed >= 80) return;
     writer->ExecuteReadWrite({}, {WriteOp{k, ToBytes("w")}},
-                             [&, write_loop](RwResult r) {
+                             [&, write_fn](RwResult r) {
                                if (r.committed) ++committed;
-                               (*write_loop)();
+                               (*write_fn)();
                              });
   };
   fx.system->env().Schedule(sim::Millis(30), *write_loop);

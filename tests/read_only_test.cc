@@ -205,30 +205,37 @@ int RunCrossGroupLoad(Fixture& fx, Client* reader, int* max_rounds) {
   std::vector<Client*> writers;
   for (int i = 0; i < 4; ++i) writers.push_back(fx.system->AddClient());
 
+  // The `loops` vector owns the loop closures until RunUntil below
+  // returns; the closures themselves hold only raw self-pointers (a
+  // self-owning shared_ptr capture would be a leaked cycle).
+  std::vector<std::shared_ptr<std::function<void()>>> loops;
   for (size_t w = 0; w < writers.size(); ++w) {
     auto loop = std::make_shared<std::function<void()>>();
-    *loop = [&fx, w, loop, writers] {
+    loops.push_back(loop);
+    auto* loop_fn = loop.get();
+    *loop = [&fx, w, loop_fn, writers] {
       if (fx.system->env().now() > sim::Seconds(4)) return;
       Key a = fx.KeyIn(static_cast<PartitionId>(w % 3), w);
       Key b = fx.KeyIn(static_cast<PartitionId>((w + 1) % 3), w);
       writers[w]->ExecuteReadWrite(
           {}, {WriteOp{a, ToBytes("x")}, WriteOp{b, ToBytes("x")}},
-          [loop](RwResult) { (*loop)(); });
+          [loop_fn](RwResult) { (*loop_fn)(); });
     };
     fx.system->env().Schedule(sim::Millis(30), *loop);
   }
 
   auto completed = std::make_shared<int>(0);
   auto read_loop = std::make_shared<std::function<void()>>();
-  *read_loop = [&fx, reader, completed, max_rounds, read_loop] {
+  auto* read_fn = read_loop.get();
+  *read_loop = [&fx, reader, completed, max_rounds, read_fn] {
     if (fx.system->env().now() > sim::Seconds(4)) return;
     std::vector<Key> keys{fx.KeyIn(0), fx.KeyIn(1), fx.KeyIn(2)};
     reader->ExecuteReadOnly(keys, [completed, max_rounds,
-                                   read_loop](RoResult r) {
+                                   read_fn](RoResult r) {
       ASSERT_TRUE(r.status.ok()) << r.status;
       *max_rounds = std::max(*max_rounds, r.rounds);
       ++*completed;
-      (*read_loop)();
+      (*read_fn)();
     });
   };
   fx.system->env().Schedule(sim::Millis(40), *read_loop);
@@ -335,23 +342,27 @@ TEST(ReadOnlyTest, NonInterferenceWithWriters) {
   Key k = fx.KeyIn(0);
 
   int writes_committed = 0, writes_aborted = 0, reads_done = 0;
+  // Both loop objects outlive the run; closures capture raw
+  // self-pointers to avoid a leaked shared_ptr cycle.
   auto write_loop = std::make_shared<std::function<void()>>();
-  *write_loop = [&, write_loop] {
+  auto* write_fn = write_loop.get();
+  *write_loop = [&, write_fn] {
     if (fx.system->env().now() > sim::Seconds(3)) return;
     writer->ExecuteReadWrite({}, {WriteOp{k, ToBytes("w")}},
-                             [&, write_loop](RwResult r) {
+                             [&, write_fn](RwResult r) {
                                r.committed ? ++writes_committed
                                            : ++writes_aborted;
-                               (*write_loop)();
+                               (*write_fn)();
                              });
   };
   auto read_loop = std::make_shared<std::function<void()>>();
-  *read_loop = [&, read_loop] {
+  auto* read_fn = read_loop.get();
+  *read_loop = [&, read_fn] {
     if (fx.system->env().now() > sim::Seconds(3)) return;
-    reader->ExecuteReadOnly({k}, [&, read_loop](RoResult r) {
+    reader->ExecuteReadOnly({k}, [&, read_fn](RoResult r) {
       ASSERT_TRUE(r.status.ok());
       ++reads_done;
-      (*read_loop)();
+      (*read_fn)();
     });
   };
   fx.system->env().Schedule(sim::Millis(30), [&] {
@@ -377,18 +388,21 @@ TEST_P(RoConsistencySeedTest, PairedWritesConsistentUnderSeed) {
   Client* reader = fx.system->AddClient();
 
   int version = 0, reads = 0;
+  // Raw self-pointers instead of self-owning captures (leak-free).
   auto write_loop = std::make_shared<std::function<void()>>();
-  *write_loop = [&, write_loop] {
+  auto* write_fn = write_loop.get();
+  *write_loop = [&, write_fn] {
     if (fx.system->env().now() > sim::Seconds(2)) return;
     std::string v = "v" + std::to_string(++version);
     writer->ExecuteReadWrite(
         {}, {WriteOp{kx, ToBytes(v)}, WriteOp{ky, ToBytes(v)}},
-        [write_loop](RwResult) { (*write_loop)(); });
+        [write_fn](RwResult) { (*write_fn)(); });
   };
   auto read_loop = std::make_shared<std::function<void()>>();
-  *read_loop = [&, read_loop] {
+  auto* read_fn = read_loop.get();
+  *read_loop = [&, read_fn] {
     if (fx.system->env().now() > sim::Seconds(2)) return;
-    reader->ExecuteReadOnly({kx, ky}, [&, read_loop](RoResult r) {
+    reader->ExecuteReadOnly({kx, ky}, [&, read_fn](RoResult r) {
       ASSERT_TRUE(r.status.ok());
       std::string x = ToString(*r.values[kx]);
       std::string y = ToString(*r.values[ky]);

@@ -1,0 +1,73 @@
+#include "core/ro_lock_table.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/types.h"
+
+namespace transedge {
+namespace {
+
+Transaction WriterOf(std::vector<Key> keys) {
+  Transaction txn;
+  txn.id = 99;
+  for (Key& k : keys) {
+    WriteOp op;
+    op.key = std::move(k);
+    op.value = {0x02};
+    txn.write_set.push_back(std::move(op));
+  }
+  return txn;
+}
+
+TEST(RoLockTableTest, EmptyTableBlocksNothing) {
+  core::RoLockTable table;
+  EXPECT_FALSE(table.BlocksWriter(WriterOf({"a", "b"})));
+  EXPECT_EQ(table.locked_key_count(), 0u);
+}
+
+TEST(RoLockTableTest, LockedKeyBlocksWriter) {
+  core::RoLockTable table;
+  table.Lock(1, {"a", "b"});
+  EXPECT_EQ(table.locked_key_count(), 2u);
+  EXPECT_TRUE(table.BlocksWriter(WriterOf({"b"})));
+  EXPECT_FALSE(table.BlocksWriter(WriterOf({"c"})));
+}
+
+TEST(RoLockTableTest, ReleaseUnblocksWriter) {
+  core::RoLockTable table;
+  table.Lock(1, {"a"});
+  table.Release(1);
+  EXPECT_EQ(table.locked_key_count(), 0u);
+  EXPECT_FALSE(table.BlocksWriter(WriterOf({"a"})));
+}
+
+TEST(RoLockTableTest, SharedLocksRefcountAcrossRequests) {
+  core::RoLockTable table;
+  table.Lock(1, {"k"});
+  table.Lock(2, {"k"});
+  EXPECT_EQ(table.locked_key_count(), 1u);  // One key, two holders.
+  table.Release(1);
+  EXPECT_TRUE(table.BlocksWriter(WriterOf({"k"})));  // Request 2 still holds.
+  table.Release(2);
+  EXPECT_FALSE(table.BlocksWriter(WriterOf({"k"})));
+}
+
+TEST(RoLockTableTest, DuplicateReleaseIsHarmless) {
+  core::RoLockTable table;
+  table.Lock(1, {"k"});
+  table.Release(1);
+  table.Release(1);  // No-op.
+  EXPECT_EQ(table.locked_key_count(), 0u);
+  table.Lock(2, {"k"});
+  EXPECT_TRUE(table.BlocksWriter(WriterOf({"k"})));
+}
+
+TEST(RoLockTableTest, ReleaseOfUnknownRequestIsHarmless) {
+  core::RoLockTable table;
+  table.Lock(1, {"k"});
+  table.Release(42);
+  EXPECT_TRUE(table.BlocksWriter(WriterOf({"k"})));
+}
+
+}  // namespace
+}  // namespace transedge

@@ -140,23 +140,27 @@ TEST(SerializabilityTest, MonotonicSnapshotReads) {
   Client* reader = fx.system->AddClient();
 
   int version = 0;
+  // Raw self-pointers instead of self-owning captures (leak-free); the
+  // shared_ptr owners outlive the RunUntil below.
   auto write_loop = std::make_shared<std::function<void()>>();
-  *write_loop = [&, write_loop] {
+  auto* write_fn = write_loop.get();
+  *write_loop = [&, write_fn] {
     if (version >= 40) return;
     std::string v = std::to_string(++version);
     // Pad so lexicographic == numeric order.
     v = std::string(6 - v.size(), '0') + v;
     writer->ExecuteReadWrite({}, {WriteOp{kx, ToBytes(v)},
                                   WriteOp{ky, ToBytes(v)}},
-                             [write_loop](RwResult) { (*write_loop)(); });
+                             [write_fn](RwResult) { (*write_fn)(); });
   };
 
   std::string last_seen = "000000";
   int reads = 0;
   auto read_loop = std::make_shared<std::function<void()>>();
-  *read_loop = [&, read_loop] {
+  auto* read_fn = read_loop.get();
+  *read_loop = [&, read_fn] {
     if (fx.system->env().now() > sim::Seconds(4)) return;
-    reader->ExecuteReadOnly({kx, ky}, [&, read_loop](RoResult r) {
+    reader->ExecuteReadOnly({kx, ky}, [&, read_fn](RoResult r) {
       ASSERT_TRUE(r.status.ok());
       ASSERT_TRUE(r.values[kx].has_value());
       std::string x = ToString(*r.values[kx]);
