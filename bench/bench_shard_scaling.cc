@@ -1,0 +1,77 @@
+// Sharded-pipeline scaling: local write throughput as the leader's
+// admission path is split over pipeline_shards ∈ {1, 2, 4, 8} at high
+// client counts. The single-pipeline leader serializes admission on one
+// conflict index and pays the superlinear batch-construction pressure on
+// the whole batch (the bottleneck behind Figures 9/11 at the sweet-spot
+// batch sizes); sharding pays that term per shard (Σ nᵢ² instead of n²),
+// so committed throughput should rise monotonically with the shard count
+// while the committed state stays identical (see sharded_pipeline_test).
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+double RunOne(uint32_t shards, core::ShardRouterKind kind, uint64_t seed,
+              sim::Time measure, bool smoke) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.config.max_batch_size = 2000;
+  setup.config.pipeline_shards = shards;
+  setup.config.pipeline_shard_router = kind;
+  setup.workload.num_keys = 1000000;  // Paper key count; no preload.
+  setup.config.merkle_depth = 16;
+  // Smoke shrinks to a single cluster: one leader's admission path is
+  // exactly what scales with shards, and it is 5x cheaper to simulate.
+  if (smoke) setup.config.num_partitions = 1;
+  World world(setup, /*preload=*/false);
+
+  // High client count, in-flight load well above the size trigger *per
+  // partition* so the batch-size cap binds and back-to-back full batches
+  // form — the regime where admission is the leader's bottleneck.
+  int clients = 100;
+  int concurrency =
+      static_cast<int>(setup.config.max_batch_size * 2 *
+                       setup.config.num_partitions / 100);
+  workload::ClosedLoopRunner runner(
+      world.system.get(), clients,
+      [&](Rng* rng) { return world.plans->MakeWriteOnly(3, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0x99, concurrency);
+  runner.Start(sim::Millis(500), sim::Millis(500) + measure);
+  runner.RunToCompletion(smoke ? sim::Millis(800) : sim::Millis(1200));
+  return runner.ThroughputTps();
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const sim::Time measure = smoke ? sim::Millis(1000) : sim::Millis(1500);
+  const uint32_t shard_counts[] = {1, 2, 4, 8};
+
+  if (smoke) {
+    std::printf("{\"bench\":\"shard_scaling\",\"smoke\":true,\"points\":[");
+    bool first = true;
+    for (uint32_t shards : shard_counts) {
+      double tps = RunOne(shards, core::ShardRouterKind::kHash, 42, measure, smoke);
+      std::printf("%s{\"pipeline_shards\":%u,\"write_tps\":%.0f}",
+                  first ? "" : ",", shards, tps);
+      first = false;
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
+  PrintHeader("Sharded pipeline: write throughput vs pipeline_shards");
+  std::printf("%-8s %18s %18s\n", "shards", "Hash router(TPS)",
+              "Range router(TPS)");
+  for (uint32_t shards : shard_counts) {
+    double hash_tps =
+        RunOne(shards, core::ShardRouterKind::kHash, 42, measure, smoke);
+    double range_tps =
+        RunOne(shards, core::ShardRouterKind::kRange, 42, measure, smoke);
+    std::printf("%-8u %18.0f %18.0f\n", shards, hash_tps, range_tps);
+  }
+  return 0;
+}

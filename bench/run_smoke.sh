@@ -11,13 +11,16 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_smoke.json}
 
-if [[ ! -x "$BUILD_DIR/bench_fig04_ro_latency" ]]; then
-  echo "error: $BUILD_DIR/bench_fig04_ro_latency not built" >&2
-  echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
+for bench in bench_fig04_ro_latency bench_shard_scaling; do
+  if [[ ! -x "$BUILD_DIR/$bench" ]]; then
+    echo "error: $BUILD_DIR/$bench not built" >&2
+    echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+done
 
 fig04_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_fig04_ro_latency" | grep '^{')
+shard_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_shard_scaling" | grep '^{')
 
 # bench_micro is optional (needs google-benchmark); emit native JSON when
 # present, a placeholder otherwise.
@@ -37,6 +40,9 @@ fi
   echo ','
   echo '"fig04_ro_latency":'
   echo "$fig04_json"
+  echo ','
+  echo '"shard_scaling":'
+  echo "$shard_json"
   echo '}'
 } > "$OUT"
 

@@ -10,10 +10,30 @@ namespace transedge::core {
 BatchPipeline::BatchPipeline(NodeContext* ctx, Hooks hooks)
     : ctx_(ctx), hooks_(std::move(hooks)) {}
 
+void StartBatchTimerLoop(NodeContext* ctx, std::function<void()> try_propose) {
+  ctx->Schedule(ctx->config().batch_interval,
+                [ctx, try_propose = std::move(try_propose)]() mutable {
+                  if (ctx->byzantine() != ByzantineBehavior::kCrash) {
+                    try_propose();
+                  }
+                  StartBatchTimerLoop(ctx, std::move(try_propose));
+                });
+}
+
+bool ShouldProposeNow(NodeContext* ctx, bool proposing, size_t in_progress) {
+  if (!ctx->IsLeader() || proposing) return false;
+  if (ctx->mutable_log().empty()) {
+    return true;  // Genesis batch, certifies preload state.
+  }
+  if (in_progress > 0) return true;
+  if (ctx->prepared_batches().OldestReady()) return true;
+  return false;
+}
+
 void BatchPipeline::OnStart() {
-  // Every replica runs the batch timer; only the current leader acts on
-  // it. That way a freshly elected leader starts batching immediately.
-  ctx_->Schedule(ctx_->config().batch_interval, [this] { OnBatchTimer(); });
+  StartBatchTimerLoop(ctx_, [this] {
+    if (ShouldPropose()) ProposeBatch();
+  });
   // The genesis batch certifies the preloaded state right away so that
   // read-only transactions have a certificate to verify against.
   if (ctx_->byzantine() != ByzantineBehavior::kCrash && ShouldPropose()) {
@@ -21,24 +41,17 @@ void BatchPipeline::OnStart() {
   }
 }
 
-void BatchPipeline::OnBatchTimer() {
-  if (ctx_->byzantine() != ByzantineBehavior::kCrash) {
-    if (ShouldPropose()) ProposeBatch();
-  }
-  ctx_->Schedule(ctx_->config().batch_interval, [this] { OnBatchTimer(); });
-}
-
 bool BatchPipeline::ShouldPropose() const {
-  if (!ctx_->IsLeader() || proposing_) return false;
-  if (ctx_->mutable_log().empty()) {
-    return true;  // Genesis batch, certifies preload state.
-  }
-  if (!inprog_local_.empty() || !inprog_prepared_.empty()) return true;
-  if (ctx_->prepared_batches().OldestReady()) return true;
-  return false;
+  return ShouldProposeNow(ctx_, proposing_, in_progress_size());
 }
 
 void BatchPipeline::MaybeProposeOnSize() {
+  if (hooks_.propose_on_size) {
+    // Shard mode: the coordinator watches the total in-progress size
+    // across all shards and proposes the merged batch.
+    hooks_.propose_on_size();
+    return;
+  }
   if (ctx_->IsLeader() && !proposing_ &&
       in_progress_size() >= ctx_->config().max_batch_size) {
     ProposeBatch();
@@ -59,6 +72,11 @@ Status BatchPipeline::AdmitCheck(const Transaction& txn) {
   if (inprog_index_.ConflictsWith(txn)) {
     return Status::Conflict("conflicts with in-progress batch");
   }
+  if (hooks_.peer_admit) {
+    // Shard mode: rule 2 continues across the other shards this
+    // transaction's footprint touches.
+    TE_RETURN_IF_ERROR(hooks_.peer_admit(txn));
+  }
   if (ctx_->pending_footprint().ConflictsWith(txn)) {
     return Status::Conflict("conflicts with a prepared transaction");
   }
@@ -69,6 +87,12 @@ Status BatchPipeline::AdmitCheck(const Transaction& txn) {
     return Status::Conflict("write key is read-locked (Augustus baseline)");
   }
   return Status::OK();
+}
+
+void BatchPipeline::RecordAdmitted(const Transaction& txn) {
+  inprog_index_.Add(txn);
+  indexed_.insert(txn.id);
+  if (hooks_.on_admitted) hooks_.on_admitted(txn);
 }
 
 void BatchPipeline::HandleCommitRequest(sim::ActorId from,
@@ -88,7 +112,7 @@ void BatchPipeline::HandleCommitRequest(sim::ActorId from,
     }
     seen_txns_.insert(txn.id);
     inprog_local_.push_back(txn);
-    inprog_index_.Add(txn);
+    RecordAdmitted(txn);
     local_waiting_clients_[txn.id] = client;
   } else {
     if (txn.coordinator != ctx_->partition()) {
@@ -103,7 +127,7 @@ void BatchPipeline::HandleCommitRequest(sim::ActorId from,
     }
     seen_txns_.insert(txn.id);
     inprog_prepared_.push_back(txn);
-    inprog_index_.Add(txn);
+    RecordAdmitted(txn);
     hooks_.begin_coordination(txn, client);
   }
 
@@ -114,11 +138,18 @@ Status BatchPipeline::AdmitPrepared(const Transaction& txn) {
   if (seen_txns_.count(txn.id) > 0) {
     return Status::AlreadyExists("duplicate coordinator prepare");
   }
+  // Marked seen even when the check below rejects: the no-vote we sent
+  // is final for this transaction, and the id must keep absorbing the
+  // f+1 fan-out duplicates (and byzantine replays of the proof-carrying
+  // prepare) — a replayed prepare admitted after the coordinator already
+  // decided abort would sit undecided in its prepare group forever.
+  // Rejected ids are never in `indexed_`, so the footprint release
+  // stays exact.
   seen_txns_.insert(txn.id);
   ctx_->Charge(ctx_->config().cost.admit_per_txn);
   TE_RETURN_IF_ERROR(AdmitCheck(txn));
   inprog_prepared_.push_back(txn);
-  inprog_index_.Add(txn);
+  RecordAdmitted(txn);
   return Status::OK();
 }
 
@@ -126,25 +157,25 @@ Status BatchPipeline::AdmitPrepared(const Transaction& txn) {
 // Batch building
 // ---------------------------------------------------------------------------
 
-storage::Batch BatchPipeline::BuildBatch() {
-  const storage::SmrLog& log = ctx_->mutable_log();
+storage::Batch BuildBatchFromSegments(NodeContext* ctx,
+                                      std::vector<Transaction> local,
+                                      std::vector<Transaction> prepared) {
+  const storage::SmrLog& log = ctx->mutable_log();
   storage::Batch batch;
-  batch.partition = ctx_->partition();
+  batch.partition = ctx->partition();
   batch.id = log.LastBatchId() + 1;
-  batch.local = std::move(inprog_local_);
-  batch.prepared = std::move(inprog_prepared_);
-  inprog_local_.clear();
-  inprog_prepared_.clear();
+  batch.local = std::move(local);
+  batch.prepared = std::move(prepared);
 
   // Committed segment: the ready prefix of prepare groups, in prepare
   // order (Definition 4.1).
   BatchId lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
-  CdVector cd = log.empty() ? CdVector(ctx_->config().num_partitions)
+  CdVector cd = log.empty() ? CdVector(ctx->config().num_partitions)
                             : log.back().batch.ro.cd_vector;
-  if (cd.empty()) cd = CdVector(ctx_->config().num_partitions);
+  if (cd.empty()) cd = CdVector(ctx->config().num_partitions);
 
   for (const txn::PrepareGroup* group :
-       ctx_->prepared_batches().ReadyPrefix()) {
+       ctx->prepared_batches().ReadyPrefix()) {
     for (const txn::PendingTxn& pending : group->txns) {
       storage::CommitRecord rec;
       rec.txn_id = pending.txn.id;
@@ -165,29 +196,56 @@ storage::Batch BatchPipeline::BuildBatch() {
       if (info.cd_vector.size() == cd.size()) cd.PairwiseMax(info.cd_vector);
     }
   }
-  cd.Set(ctx_->partition(), batch.id);
+  cd.Set(ctx->partition(), batch.id);
 
   batch.ro.cd_vector = std::move(cd);
   batch.ro.lce = lce;
-  batch.ro.timestamp_us = ctx_->now();
+  batch.ro.timestamp_us = ctx->now();
   return batch;
+}
+
+void SealAndProposeBatch(
+    NodeContext* ctx, storage::Batch batch, sim::Time compute_cost,
+    const std::function<void(storage::Batch, merkle::MerkleTree)>& propose) {
+  ctx->Charge(compute_cost + ctx->config().cost.signature_op);
+
+  // Compute the post-state Merkle root on a structural-sharing clone.
+  merkle::MerkleTree post_tree = ctx->mutable_tree().Clone();
+  ApplyBatchWritesToTree(&post_tree, ctx->partition_map(), ctx->partition(),
+                         batch, ctx->prepared_batches());
+  batch.ro.merkle_root = post_tree.RootDigest();
+
+  propose(std::move(batch), std::move(post_tree));
+}
+
+storage::Batch BatchPipeline::BuildBatch() {
+  std::vector<Transaction> local;
+  std::vector<Transaction> prepared;
+  DrainSegments(&local, &prepared);
+  return BuildBatchFromSegments(ctx_, std::move(local), std::move(prepared));
 }
 
 void BatchPipeline::ProposeBatch() {
   proposing_ = true;
   storage::Batch batch = BuildBatch();
-  size_t batch_size = batch.TotalTransactions();
-  ctx_->Charge(
-      ctx_->BatchComputeCost(batch_size, ctx_->config().cost.admit_per_txn / 4) +
-      ctx_->config().cost.signature_op);
+  sim::Time cost = ctx_->BatchComputeCost(
+      batch.TotalTransactions(), ctx_->config().cost.admit_per_txn / 4);
+  SealAndProposeBatch(ctx_, std::move(batch), cost, hooks_.propose);
+}
 
-  // Compute the post-state Merkle root on a structural-sharing clone.
-  merkle::MerkleTree post_tree = ctx_->mutable_tree().Clone();
-  ApplyBatchWritesToTree(&post_tree, ctx_->partition_map(), ctx_->partition(),
-                         batch, ctx_->prepared_batches());
-  batch.ro.merkle_root = post_tree.RootDigest();
-
-  hooks_.propose(std::move(batch), std::move(post_tree));
+void BatchPipeline::DrainSegments(std::vector<Transaction>* local,
+                                  std::vector<Transaction>* prepared) {
+  for (const Transaction& t : inprog_local_) proposed_inflight_.push_back(t.id);
+  for (const Transaction& t : inprog_prepared_) {
+    proposed_inflight_.push_back(t.id);
+  }
+  local->insert(local->end(), std::make_move_iterator(inprog_local_.begin()),
+                std::make_move_iterator(inprog_local_.end()));
+  prepared->insert(prepared->end(),
+                   std::make_move_iterator(inprog_prepared_.begin()),
+                   std::make_move_iterator(inprog_prepared_.end()));
+  inprog_local_.clear();
+  inprog_prepared_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -195,9 +253,30 @@ void BatchPipeline::ProposeBatch() {
 // ---------------------------------------------------------------------------
 
 void BatchPipeline::OnBatchApplied(const storage::Batch& logged) {
-  if (!ctx_->IsLeader()) return;
-  for (const Transaction& t : logged.local) inprog_index_.Remove(t);
-  for (const Transaction& t : logged.prepared) inprog_index_.Remove(t);
+  // Footprint release and dedup drain run on every replica, not just the
+  // current leader: a demoted leader would otherwise keep stale
+  // footprints for its in-flight batches, and seen_txns_ would grow
+  // unboundedly with every transaction a replica ever admitted. The
+  // release is keyed on `indexed_`, the exact record of what this
+  // pipeline added (removing a foreign transaction could decrement
+  // counts another in-flight admission still owns). Dedup lifetimes
+  // differ by kind: a local id drains when its batch applies (the commit
+  // reply goes out here), but a distributed id must keep absorbing
+  // client retries and prepare-fan-out duplicates until its 2PC decision
+  // is applied — i.e. until its commit record lands — or a retry during
+  // the pending window would be re-admitted and abort against the
+  // transaction's own pending footprint.
+  for (const Transaction& t : logged.local) {
+    if (indexed_.erase(t.id) > 0) inprog_index_.Remove(t);
+    seen_txns_.erase(t.id);
+  }
+  for (const Transaction& t : logged.prepared) {
+    if (indexed_.erase(t.id) > 0) inprog_index_.Remove(t);
+  }
+  for (const storage::CommitRecord& rec : logged.committed) {
+    seen_txns_.erase(rec.txn_id);
+  }
+  proposed_inflight_.clear();
   proposing_ = false;
 
   // Local transactions are now committed — answer clients.
@@ -214,8 +293,26 @@ void BatchPipeline::OnBatchApplied(const storage::Batch& logged) {
 
 void BatchPipeline::OnViewChange() {
   proposing_ = false;
+  // Undecided admissions are abandoned — answer the waiting local clients
+  // with a retryable abort (they re-issue against the new leader with the
+  // same transaction id) instead of leaving them to hang.
+  sim::Time at = ctx_->busy_until();
+  for (const auto& [txn_id, client] : local_waiting_clients_) {
+    ctx_->ReplyCommit(client, txn_id, false, "view change", at,
+                      /*retryable=*/true);
+  }
+  local_waiting_clients_.clear();
+  // Forget the abandoned ids — queued local *and* prepared, plus the
+  // proposed-but-undecided batch — so a retry that lands back here after
+  // a re-election is not swallowed by dedup. (Rejected prepares are NOT
+  // forgotten: their no-vote is final.)
+  for (const Transaction& t : inprog_local_) seen_txns_.erase(t.id);
+  for (const Transaction& t : inprog_prepared_) seen_txns_.erase(t.id);
+  for (TxnId id : proposed_inflight_) seen_txns_.erase(id);
+  proposed_inflight_.clear();
   inprog_local_.clear();
   inprog_prepared_.clear();
+  indexed_.clear();
   inprog_index_ = FootprintIndex();
 }
 

@@ -21,6 +21,12 @@ namespace transedge::core {
 /// The pipeline never talks to consensus or 2PC directly: a built batch
 /// leaves through the `propose` hook, and distributed transactions that
 /// pass admission are handed to `begin_coordination`.
+///
+/// When SystemConfig::pipeline_shards > 1 a ShardedPipeline hosts one
+/// BatchPipeline per key-range shard: each instance then runs admission
+/// only (the shard hooks below route cross-shard footprint checks), and
+/// the hosting coordinator owns the timer, the size trigger, and the
+/// merged proposal.
 class BatchPipeline {
  public:
   struct Stats {
@@ -38,6 +44,17 @@ class BatchPipeline {
     /// Augustus-baseline interference: true if a shared read lock blocks
     /// this (partition-restricted) writer.
     std::function<bool(const Transaction&)> ro_locks_block_writer;
+
+    // --- Shard hooks (set only by ShardedPipeline, shards > 1) ----------
+    /// Definition 3.1 rule-2 check against the in-progress indexes of the
+    /// other shards a cross-shard transaction touches.
+    std::function<Status(const Transaction&)> peer_admit;
+    /// A transaction passed admission here: record its footprint slices
+    /// in the other touched shards.
+    std::function<void(const Transaction&)> on_admitted;
+    /// Size trigger delegated to the coordinator, which watches the total
+    /// in-progress size across shards and proposes the merged batch.
+    std::function<void()> propose_on_size;
   };
 
   BatchPipeline(NodeContext* ctx, Hooks hooks);
@@ -56,23 +73,58 @@ class BatchPipeline {
   /// 2PC dedup across commit requests and coordinator prepares.
   bool AlreadySeen(TxnId txn_id) const { return seen_txns_.count(txn_id) > 0; }
 
-  /// Proposes when the in-progress batch reached the size trigger.
+  /// True while `txn_id`'s footprint is held in this pipeline's
+  /// in-progress index (admitted here and not yet applied or abandoned).
+  bool HasIndexed(TxnId txn_id) const { return indexed_.count(txn_id) > 0; }
+
+  /// Proposes when the in-progress batch reached the size trigger (or
+  /// defers to the coordinator's trigger in shard mode).
   void MaybeProposeOnSize();
 
-  /// Post-apply bookkeeping for a decided batch `logged` (leader only):
-  /// releases footprints, answers local clients, re-arms proposing.
+  /// Post-apply bookkeeping for a decided batch `logged`: releases the
+  /// footprints and dedup entries of transactions this pipeline admitted
+  /// (on every replica — a demoted leader must not keep stale state) and
+  /// answers local clients when leader.
   void OnBatchApplied(const storage::Batch& logged);
 
-  /// A new view was adopted: abandon undecided admissions.
+  /// A new view was adopted: abandon undecided admissions and abort-reply
+  /// the local clients waiting on them (retryable — the client re-issues
+  /// against the new leader).
   void OnViewChange();
+
+  // --- Shard-mode API (used by ShardedPipeline when shards > 1) ----------
+  /// Definition 3.1 rule-2 check of `txn` against this shard's index.
+  bool FootprintConflicts(const Transaction& txn) const {
+    return inprog_index_.ConflictsWith(txn);
+  }
+  /// Records / releases the slice of a cross-shard transaction's
+  /// footprint that falls in this shard's key range. The slice must be
+  /// released with exactly the keys it was recorded with.
+  void RecordPeerFootprint(const Transaction& slice) {
+    inprog_index_.Add(slice);
+  }
+  void ReleasePeerFootprint(const Transaction& slice) {
+    inprog_index_.Remove(slice);
+  }
+  /// Moves this shard's admitted segments onto the merged batch (the
+  /// footprints stay indexed until the decided batch applies).
+  void DrainSegments(std::vector<Transaction>* local,
+                     std::vector<Transaction>* prepared);
+  /// Drains a decided distributed id from the dedup set (the sharded
+  /// coordinator fans an applied batch's commit records to every shard).
+  void ForgetSeen(TxnId txn_id) { seen_txns_.erase(txn_id); }
 
   size_t in_progress_size() const {
     return inprog_local_.size() + inprog_prepared_.size();
   }
+  /// Dedup entries currently held. Applied and view-change-abandoned
+  /// admissions drain out (tests assert it); only rejected coordinator
+  /// prepares are retained, as the permanent no-vote record for the f+1
+  /// fan-out.
+  size_t seen_txn_count() const { return seen_txns_.size(); }
   const Stats& stats() const { return stats_; }
 
  private:
-  void OnBatchTimer();
   bool ShouldPropose() const;
   void ProposeBatch();
   storage::Batch BuildBatch();
@@ -80,6 +132,10 @@ class BatchPipeline {
   /// Definition 3.1 admission check for `txn` (full footprint; store
   /// checks restricted to this partition's keys).
   Status AdmitCheck(const Transaction& txn);
+
+  /// Indexes an admitted transaction's footprint (and fans the slices
+  /// out to peer shards in shard mode).
+  void RecordAdmitted(const Transaction& txn);
 
   NodeContext* ctx_;
   Hooks hooks_;
@@ -89,9 +145,45 @@ class BatchPipeline {
   FootprintIndex inprog_index_;  // In-progress + in-flight batches.
   std::unordered_map<TxnId, sim::ActorId> local_waiting_clients_;
   std::unordered_set<TxnId> seen_txns_;  // 2PC dedup.
+  /// Ids whose footprints are currently in `inprog_index_` — admitted
+  /// here, neither applied nor abandoned. Kept apart from the dedup set
+  /// (rejected prepares are seen but never indexed; dedup survives
+  /// longer than the footprint) so the post-apply release removes
+  /// exactly what this pipeline added.
+  std::unordered_set<TxnId> indexed_;
+  /// Ids drained out of the queues into a proposed-but-undecided batch;
+  /// their footprints are still indexed, so a view change must forget
+  /// them from `seen_txns_` together with the queued ids.
+  std::vector<TxnId> proposed_inflight_;
   bool proposing_ = false;
   Stats stats_;
 };
+
+/// Builds the next batch from already-admitted segments: assigns the next
+/// log position, attaches the committed segment (the ready prefix of
+/// prepare groups, Definition 4.1), and computes the LCE and CD vector
+/// (Algorithm 1). Shared by the single pipeline and the sharded merge.
+storage::Batch BuildBatchFromSegments(NodeContext* ctx,
+                                      std::vector<Transaction> local,
+                                      std::vector<Transaction> prepared);
+
+/// Seals a built batch — post-state Merkle root on a structural-sharing
+/// clone — and hands it to `propose`. `compute_cost` is the simulated
+/// cost of constructing the batch (sharded leaders pay the superlinear
+/// term per shard).
+void SealAndProposeBatch(
+    NodeContext* ctx, storage::Batch batch, sim::Time compute_cost,
+    const std::function<void(storage::Batch, merkle::MerkleTree)>& propose);
+
+/// The when-to-propose policy both pipeline flavors share: leader, not
+/// already proposing, and (empty log => genesis) | queued admissions |
+/// a ready prepare group.
+bool ShouldProposeNow(NodeContext* ctx, bool proposing, size_t in_progress);
+
+/// Arms the recurring batch timer on every replica (only the current
+/// leader's `try_propose` does anything, so a freshly elected leader
+/// starts batching immediately); skipped while crash-stopped.
+void StartBatchTimerLoop(NodeContext* ctx, std::function<void()> try_propose);
 
 }  // namespace transedge::core
 

@@ -150,6 +150,23 @@ void Client::HandleCommitReply(const wire::CommitReply& msg) {
   if (op_it == rw_ops_.end()) return;
   RwOp& op = op_it->second;
 
+  if (!msg.committed && msg.retryable) {
+    // A view change abandoned the admission; the transaction was never
+    // decided, so re-issue it against the new leader instead of
+    // surfacing an abort. A reply can only answer a sent commit: if this
+    // attempt has not sent one yet (a timeout already re-issued and the
+    // old leader's abort arrived late), the abort belongs to a
+    // superseded attempt — drop it and let the live attempt proceed.
+    if (!op.commit_sent) return;
+    if (RetryRw(op_id)) return;
+    // Retries exhausted. The abort may still be stale (a delayed reply
+    // to an earlier attempt while the live one is deciding), and a
+    // retryable abort never carries a final decision — never surface it
+    // as one. The live attempt's own reply or the timeout resolves the
+    // op.
+    return;
+  }
+
   RwResult result;
   result.txn_id = msg.txn_id;
   result.committed = msg.committed;
@@ -174,6 +191,59 @@ void Client::FinishRw(uint64_t op_id, RwResult result) {
   if (op.done) op.done(std::move(result));
 }
 
+bool Client::RetryRw(uint64_t op_id) {
+  auto it = rw_ops_.find(op_id);
+  if (it == rw_ops_.end()) return false;
+  RwOp& op = it->second;
+  if (op.retries_left-- <= 0) return false;
+  // Rotate the leader hint for every touched partition and retry.
+  for (uint64_t& hint : view_hint_) ++hint;
+  op.commit_sent = false;
+  op.reads.clear();
+  op.reads_outstanding = 0;
+  for (const auto& [req, key] : op.read_request_keys) {
+    request_op_.erase(req);
+  }
+  op.read_request_keys.clear();
+  std::vector<Key> read_keys = op.read_keys;
+  std::vector<WriteOp> writes = op.writes;
+  RwCallback done = std::move(op.done);
+  TxnId txn_id = op.txn_id;
+  sim::Time start = op.start;
+  int retries = op.retries_left;
+  rw_ops_.erase(it);
+  txn_op_.erase(txn_id);
+  // Re-issue with the same transaction id (the new leader has not
+  // seen it; dedup protects against the old one).
+  uint64_t new_op = next_request_id_++;
+  RwOp& fresh = rw_ops_[new_op];
+  fresh.read_keys = std::move(read_keys);
+  fresh.writes = std::move(writes);
+  fresh.done = std::move(done);
+  fresh.start = start;
+  fresh.txn_id = txn_id;
+  fresh.retries_left = retries;
+  txn_op_[txn_id] = new_op;
+  if (fresh.read_keys.empty()) {
+    SendCommit(&fresh);
+  } else {
+    for (const Key& key : fresh.read_keys) {
+      uint64_t req = next_request_id_++;
+      request_op_[req] = new_op;
+      fresh.read_request_keys[req] = key;
+      ++fresh.reads_outstanding;
+      wire::ClientReadRequest msg;
+      msg.request_id = req;
+      msg.reply_to = id_;
+      msg.key = key;
+      env_->network().Send(id_, LeaderOf(partition_map_.OwnerOf(key)),
+                           Share(std::move(msg)));
+    }
+  }
+  ArmRwTimeout(new_op);
+  return true;
+}
+
 void Client::ArmRwTimeout(uint64_t op_id) {
   auto op_it = rw_ops_.find(op_id);
   if (op_it == rw_ops_.end()) return;
@@ -181,56 +251,9 @@ void Client::ArmRwTimeout(uint64_t op_id) {
   env_->Schedule(config_.client_timeout, [this, op_id, epoch] {
     auto it = rw_ops_.find(op_id);
     if (it == rw_ops_.end() || it->second.epoch != epoch) return;
-    RwOp& op = it->second;
-    if (op.retries_left-- > 0) {
-      // Rotate the leader hint for every touched partition and retry.
-      for (uint64_t& hint : view_hint_) ++hint;
-      op.commit_sent = false;
-      op.reads.clear();
-      op.reads_outstanding = 0;
-      for (const auto& [req, key] : op.read_request_keys) {
-        request_op_.erase(req);
-      }
-      op.read_request_keys.clear();
-      std::vector<Key> read_keys = op.read_keys;
-      std::vector<WriteOp> writes = op.writes;
-      RwCallback done = std::move(op.done);
-      TxnId txn_id = op.txn_id;
-      sim::Time start = op.start;
-      int retries = op.retries_left;
-      rw_ops_.erase(it);
-      txn_op_.erase(txn_id);
-      // Re-issue with the same transaction id (the new leader has not
-      // seen it; dedup protects against the old one).
-      uint64_t new_op = next_request_id_++;
-      RwOp& fresh = rw_ops_[new_op];
-      fresh.read_keys = std::move(read_keys);
-      fresh.writes = std::move(writes);
-      fresh.done = std::move(done);
-      fresh.start = start;
-      fresh.txn_id = txn_id;
-      fresh.retries_left = retries;
-      txn_op_[txn_id] = new_op;
-      if (fresh.read_keys.empty()) {
-        SendCommit(&fresh);
-      } else {
-        for (const Key& key : fresh.read_keys) {
-          uint64_t req = next_request_id_++;
-          request_op_[req] = new_op;
-          fresh.read_request_keys[req] = key;
-          ++fresh.reads_outstanding;
-          wire::ClientReadRequest msg;
-          msg.request_id = req;
-          msg.reply_to = id_;
-          msg.key = key;
-          env_->network().Send(id_, LeaderOf(partition_map_.OwnerOf(key)),
-                               Share(std::move(msg)));
-        }
-      }
-      ArmRwTimeout(new_op);
-      return;
-    }
+    if (RetryRw(op_id)) return;
     ++stats_.timeouts;
+    RwOp& op = rw_ops_.find(op_id)->second;
     RwResult result;
     result.txn_id = op.txn_id;
     result.committed = false;

@@ -144,6 +144,11 @@ class Client : public sim::Actor {
   void FinishRw(uint64_t op_id, RwResult result);
   void FinishRo(uint64_t op_id, RoResult result);
 
+  /// Re-issues a read-write op against the next leader (same transaction
+  /// id) if it has retries left; used by the timeout path and by
+  /// retryable aborts (view changes). False when retries are exhausted.
+  bool RetryRw(uint64_t op_id);
+
   /// Certificate + Merkle verification of one read-only reply (§4.2).
   Status VerifyRoReply(const wire::RoReply& reply);
 

@@ -44,12 +44,34 @@ struct CostModel {
   sim::Time signature_op = sim::Micros(25);
 };
 
+/// How the leader's sharded batch pipeline routes keys to admission
+/// shards (only meaningful when SystemConfig::pipeline_shards > 1).
+enum class ShardRouterKind : uint8_t {
+  /// Uniform hashing of the key (independent from partition choice and
+  /// from the Merkle leaf index).
+  kHash,
+  /// Contiguous ranges of the Merkle leaf-index space, so a shard's
+  /// conflict index covers a contiguous slice of the authenticated tree.
+  kRange,
+};
+
 /// Static system topology and protocol parameters. Shared by every node,
 /// client, and bench harness; node ids are a pure function of
 /// (partition, replica index).
 struct SystemConfig {
   /// Number of partitions == number of clusters (paper default: 5).
   uint32_t num_partitions = 5;
+
+  /// Number of admission shards the leader's batch pipeline runs over
+  /// disjoint key ranges. 1 (default) keeps the single-pipeline leader
+  /// byte-for-byte identical to the pre-sharding behavior; >1 admits
+  /// through per-shard conflict indexes and merges the shard segments
+  /// into one proposed batch, so consensus, 2PC, and the read-only path
+  /// are untouched.
+  uint32_t pipeline_shards = 1;
+
+  /// Key -> shard routing policy of the sharded pipeline.
+  ShardRouterKind pipeline_shard_router = ShardRouterKind::kHash;
 
   /// Tolerated byzantine failures per cluster (paper default: 2, i.e.
   /// 7 replicas per cluster).

@@ -246,8 +246,21 @@ Status ConsensusEngine::ValidateProposedBatch(ConsensusInstance* inst) {
     return Status::VerificationFailed("batch timestamp outside window");
   }
 
-  ctx_->Charge(ctx_->BatchComputeCost(batch.TotalTransactions(),
-                                      config.cost.validate_per_txn));
+  const uint32_t shards = config.pipeline_shards == 0 ? 1
+                                                      : config.pipeline_shards;
+  if (shards > 1) {
+    // Re-validation partitions its conflict index the same way the
+    // sharded leader's admission did, so the superlinear churn term is
+    // paid per shard (balanced-router estimate; the routers are uniform).
+    size_t n = batch.TotalTransactions();
+    std::vector<size_t> sizes(shards, n / shards);
+    for (size_t i = 0; i < n % shards; ++i) ++sizes[i];
+    ctx_->Charge(
+        ctx_->ShardedBatchComputeCost(sizes, config.cost.validate_per_txn));
+  } else {
+    ctx_->Charge(ctx_->BatchComputeCost(batch.TotalTransactions(),
+                                        config.cost.validate_per_txn));
+  }
 
   // Re-run Definition 3.1 on every transaction the leader admitted.
   FootprintIndex batch_index;

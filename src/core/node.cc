@@ -5,9 +5,9 @@
 #include <utility>
 
 #include "core/augustus_baseline.h"
-#include "core/batch_pipeline.h"
 #include "core/consensus_engine.h"
 #include "core/read_only_service.h"
+#include "core/sharded_pipeline.h"
 #include "core/two_pc_coordinator.h"
 
 namespace transedge::core {
@@ -38,11 +38,14 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
     ApplyDecidedBatch(std::move(d.batch), std::move(d.certificate),
                       std::move(d.post_tree));
   };
-  consensus_hooks.on_view_adopted = [this] { pipeline_->OnViewChange(); };
+  consensus_hooks.on_view_adopted = [this] {
+    pipeline_->OnViewChange();
+    two_pc_->OnViewChange();
+  };
   consensus_ =
       std::make_unique<ConsensusEngine>(ctx, std::move(consensus_hooks));
 
-  BatchPipeline::Hooks pipeline_hooks;
+  ShardedPipeline::Hooks pipeline_hooks;
   pipeline_hooks.propose = [this](storage::Batch batch,
                                   merkle::MerkleTree post_tree) {
     consensus_->Propose(std::move(batch), std::move(post_tree));
@@ -54,7 +57,8 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
   pipeline_hooks.ro_locks_block_writer = [this](const Transaction& txn) {
     return augustus_->BlocksWriter(txn);
   };
-  pipeline_ = std::make_unique<BatchPipeline>(ctx, std::move(pipeline_hooks));
+  pipeline_ =
+      std::make_unique<ShardedPipeline>(ctx, std::move(pipeline_hooks));
 
   TwoPcCoordinator::Hooks two_pc_hooks;
   two_pc_hooks.already_seen = [this](TxnId txn_id) {
@@ -95,17 +99,23 @@ size_t TransEdgeNode::in_progress_size() const {
   return pipeline_->in_progress_size();
 }
 
+size_t TransEdgeNode::seen_txn_count() const {
+  return pipeline_->seen_txn_count();
+}
+
 const NodeStats& TransEdgeNode::stats() const {
   NodeStats& s = aggregated_stats_;
-  s.local_committed = pipeline_->stats().local_committed;
-  s.local_aborted = pipeline_->stats().local_aborted;
+  const ShardedPipeline::Stats pipeline_stats = pipeline_->stats();
+  s.local_committed = pipeline_stats.local_committed;
+  s.local_aborted = pipeline_stats.local_aborted;
   s.dist_committed = two_pc_->stats().dist_committed;
-  s.dist_aborted = pipeline_->stats().dist_aborted + two_pc_->stats().dist_aborted;
+  s.dist_aborted = pipeline_stats.dist_aborted + two_pc_->stats().dist_aborted;
   s.batches_decided = consensus_->stats().batches_decided;
   s.ro_round1_served = read_only_->stats().ro_round1_served;
   s.ro_round2_served = read_only_->stats().ro_round2_served;
   s.ro_round2_parked = read_only_->stats().ro_round2_parked;
-  s.rw_aborted_by_ro_locks = pipeline_->stats().rw_aborted_by_ro_locks;
+  s.ro_round2_rejected = read_only_->stats().ro_round2_rejected;
+  s.rw_aborted_by_ro_locks = pipeline_stats.rw_aborted_by_ro_locks;
   s.view_changes = consensus_->stats().view_changes;
   s.augustus_ro_served = augustus_->stats().augustus_ro_served;
   return s;

@@ -20,9 +20,9 @@
 namespace transedge::core {
 
 class AugustusBaseline;
-class BatchPipeline;
 class ConsensusEngine;
 class ReadOnlyService;
+class ShardedPipeline;
 class TwoPcCoordinator;
 
 /// Counters exposed for tests and the bench harness. Aggregated from the
@@ -36,6 +36,7 @@ struct NodeStats {
   uint64_t ro_round1_served = 0;
   uint64_t ro_round2_served = 0;
   uint64_t ro_round2_parked = 0;
+  uint64_t ro_round2_rejected = 0;
   uint64_t rw_aborted_by_ro_locks = 0;  // Augustus interference (Table 1).
   uint64_t view_changes = 0;
   uint64_t augustus_ro_served = 0;
@@ -48,7 +49,9 @@ struct NodeStats {
 /// + snapshot window + SMR log):
 ///
 ///   - ConsensusEngine:  intra-cluster consensus on batches (§3.2)
-///   - BatchPipeline:    leader admission and batch building (Figure 2)
+///   - ShardedPipeline:  leader admission and batch building (Figure 2),
+///                       optionally sharded over disjoint key ranges
+///                       (SystemConfig::pipeline_shards)
 ///   - TwoPcCoordinator: cross-cluster 2PC (§3.3)
 ///   - ReadOnlyService:  authenticated read-only serving (§4.2–4.4)
 ///   - AugustusBaseline: locking read-only baseline (Figures 5–7)
@@ -81,6 +84,9 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   const merkle::MerkleTree& tree() const { return tree_; }
   const NodeStats& stats() const;
   size_t in_progress_size() const;
+  /// 2PC-dedup entries the admission pipeline currently holds (drains as
+  /// batches apply; bounded by in-flight work).
+  size_t seen_txn_count() const;
 
   void SetByzantineBehavior(ByzantineBehavior behavior) {
     byzantine_ = behavior;
@@ -160,7 +166,7 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
 
   // Subsystem engines (wired in the constructor).
   std::unique_ptr<ConsensusEngine> consensus_;
-  std::unique_ptr<BatchPipeline> pipeline_;
+  std::unique_ptr<ShardedPipeline> pipeline_;
   std::unique_ptr<TwoPcCoordinator> two_pc_;
   std::unique_ptr<ReadOnlyService> read_only_;
   std::unique_ptr<AugustusBaseline> augustus_;

@@ -24,13 +24,28 @@ sim::Time NodeContext::BatchComputeCost(size_t batch_size,
          static_cast<sim::Time>(quad);
 }
 
+sim::Time NodeContext::ShardedBatchComputeCost(
+    const std::vector<size_t>& shard_sizes, sim::Time per_txn) const {
+  size_t total = 0;
+  double quad = 0.0;
+  for (size_t n : shard_sizes) {
+    total += n;
+    quad += config().cost.batch_quadratic_ns * static_cast<double>(n) *
+            static_cast<double>(n) / 1000.0;
+  }
+  return config().cost.batch_overhead +
+         per_txn * static_cast<sim::Time>(total) +
+         static_cast<sim::Time>(quad);
+}
+
 void NodeContext::ReplyCommit(sim::ActorId client, TxnId txn_id,
                               bool committed, const std::string& reason,
-                              sim::Time at) {
+                              sim::Time at, bool retryable) {
   wire::CommitReply reply;
   reply.txn_id = txn_id;
   reply.committed = committed;
   reply.reason = reason;
+  reply.retryable = retryable;
   Send(client, ShareMsg(std::move(reply)), at);
 }
 

@@ -102,9 +102,19 @@ class NodeContext {
   /// Simulated cost of per-batch work with a superlinear pressure term.
   sim::Time BatchComputeCost(size_t batch_size, sim::Time per_txn) const;
 
-  /// Sends a CommitReply to `client`.
+  /// Sharded variant: the fixed and linear terms are paid once, but the
+  /// superlinear pressure term (conflict-index churn, Definition 3.1
+  /// re-checks) is paid per admission shard — Σᵢ quad(nᵢ) instead of
+  /// quad(Σᵢ nᵢ). Equals BatchComputeCost for a single shard.
+  sim::Time ShardedBatchComputeCost(const std::vector<size_t>& shard_sizes,
+                                    sim::Time per_txn) const;
+
+  /// Sends a CommitReply to `client`. `retryable` marks aborts the client
+  /// should transparently re-issue against the next leader (e.g. a view
+  /// change abandoning undecided admissions) rather than surface.
   void ReplyCommit(sim::ActorId client, TxnId txn_id, bool committed,
-                   const std::string& reason, sim::Time at);
+                   const std::string& reason, sim::Time at,
+                   bool retryable = false);
 };
 
 /// Wraps a wire message for the simulated network.

@@ -1,7 +1,6 @@
 #include "core/read_only_service.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 namespace transedge::core {
@@ -24,11 +23,29 @@ void ReadOnlyService::HandleClientRead(sim::ActorId from,
              done);
 }
 
-wire::RoReply ReadOnlyService::BuildRoReply(uint64_t request_id,
-                                            const std::vector<Key>& keys,
-                                            BatchId batch_id,
-                                            bool second_round) {
-  const storage::LogEntry* entry = ctx_->mutable_log().Get(batch_id).value();
+wire::RoReply ReadOnlyService::UnserviceableReply(uint64_t request_id) const {
+  // batch_id == kNoBatch tells the client no certified state can serve
+  // the request right now; it retries (possibly against a fresher view).
+  wire::RoReply reply;
+  reply.request_id = request_id;
+  reply.partition = ctx_->partition();
+  reply.batch_id = kNoBatch;
+  return reply;
+}
+
+Result<wire::RoReply> ReadOnlyService::BuildRoReply(
+    uint64_t request_id, const std::vector<Key>& keys, BatchId batch_id,
+    bool second_round) {
+  // Both lookups can fail for a batch outside the retained window (the
+  // snapshot window trails the log head); dereferencing the error Result
+  // unchecked would be UB, so the caller replies unserviceable instead.
+  if (batch_id < ctx_->snapshot_base()) {
+    return Status::NotFound("snapshot for batch no longer retained");
+  }
+  Result<const storage::LogEntry*> entry_or = ctx_->mutable_log().Get(batch_id);
+  TE_RETURN_IF_ERROR(entry_or.status());
+  const storage::LogEntry* entry = entry_or.value();
+
   wire::RoReply reply;
   reply.request_id = request_id;
   reply.partition = ctx_->partition();
@@ -75,11 +92,7 @@ void ReadOnlyService::HandleRoRequest(sim::ActorId from,
                    ctx_->config().cost.signature_op);
   if (ctx_->mutable_log().empty()) {
     // No certified state yet; reply unserviceable, the client retries.
-    wire::RoReply reply;
-    reply.request_id = msg.request_id;
-    reply.partition = ctx_->partition();
-    reply.batch_id = kNoBatch;
-    ctx_->Send(client, ShareMsg(std::move(reply)), done);
+    ctx_->Send(client, ShareMsg(UnserviceableReply(msg.request_id)), done);
     return;
   }
   BatchId batch_id = ctx_->mutable_log().LastBatchId();
@@ -87,10 +100,14 @@ void ReadOnlyService::HandleRoRequest(sim::ActorId from,
     // Old but certified (bounded by the retained snapshot window).
     batch_id = std::max<BatchId>(ctx_->snapshot_base(), batch_id - 64);
   }
+  Result<wire::RoReply> reply =
+      BuildRoReply(msg.request_id, msg.keys, batch_id, false);
+  if (!reply.ok()) {
+    ctx_->Send(client, ShareMsg(UnserviceableReply(msg.request_id)), done);
+    return;
+  }
   ++stats_.ro_round1_served;
-  ctx_->Send(client,
-             ShareMsg(BuildRoReply(msg.request_id, msg.keys, batch_id, false)),
-             done);
+  ctx_->Send(client, ShareMsg(std::move(reply).value()), done);
 }
 
 BatchId ReadOnlyService::FindBatchWithLce(BatchId min_lce) const {
@@ -101,10 +118,13 @@ BatchId ReadOnlyService::FindBatchWithLce(BatchId min_lce) const {
   // window cannot be served, so the search floor is the window base.
   BatchId lo = ctx_->snapshot_base();
   BatchId hi = log.LastBatchId();
-  if (log.Get(hi).value()->batch.ro.lce < min_lce) return kNoBatch;
+  Result<const storage::LogEntry*> last = log.Get(hi);
+  if (!last.ok() || last.value()->batch.ro.lce < min_lce) return kNoBatch;
   while (lo < hi) {
     BatchId mid = lo + (hi - lo) / 2;
-    if (log.Get(mid).value()->batch.ro.lce >= min_lce) {
+    Result<const storage::LogEntry*> entry = log.Get(mid);
+    if (!entry.ok()) return kNoBatch;  // Below the first retained entry.
+    if (entry.value()->batch.ro.lce >= min_lce) {
       hi = mid;
     } else {
       lo = mid + 1;
@@ -116,6 +136,19 @@ BatchId ReadOnlyService::FindBatchWithLce(BatchId min_lce) const {
 void ReadOnlyService::HandleRoBatchRequest(sim::ActorId from,
                                            const wire::RoBatchRequest& msg) {
   sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
+  const storage::SmrLog& log = ctx_->mutable_log();
+  // A dependency further ahead of the log than the whole retained window
+  // cannot come from an honest round-1 reply (dependencies are batch ids
+  // this cluster already certified): answer unserviceable instead of
+  // parking the request — and its client — forever.
+  BatchId horizon = log.LastBatchId() +
+                    static_cast<BatchId>(ctx_->config().snapshot_history);
+  if (msg.min_lce > horizon) {
+    sim::Time done = ctx_->Charge(ctx_->config().cost.message_handling);
+    ++stats_.ro_round2_rejected;
+    ctx_->Send(client, ShareMsg(UnserviceableReply(msg.request_id)), done);
+    return;
+  }
   BatchId batch_id = FindBatchWithLce(msg.min_lce);
   if (batch_id == kNoBatch) {
     // The dependency has prepared here but not yet committed; park the
@@ -131,10 +164,14 @@ void ReadOnlyService::HandleRoBatchRequest(sim::ActorId from,
       ctx_->Charge(ctx_->config().cost.ro_serve_per_key *
                        static_cast<sim::Time>(msg.keys.size()) +
                    ctx_->config().cost.signature_op);
+  Result<wire::RoReply> reply =
+      BuildRoReply(msg.request_id, msg.keys, batch_id, true);
+  if (!reply.ok()) {
+    ctx_->Send(client, ShareMsg(UnserviceableReply(msg.request_id)), done);
+    return;
+  }
   ++stats_.ro_round2_served;
-  ctx_->Send(client,
-             ShareMsg(BuildRoReply(msg.request_id, msg.keys, batch_id, true)),
-             done);
+  ctx_->Send(client, ShareMsg(std::move(reply).value()), done);
 }
 
 void ReadOnlyService::ServeParkedRequests() {
@@ -150,11 +187,15 @@ void ReadOnlyService::ServeParkedRequests() {
         ctx_->Charge(ctx_->config().cost.ro_serve_per_key *
                          static_cast<sim::Time>(parked.request.keys.size()) +
                      ctx_->config().cost.signature_op);
+    Result<wire::RoReply> reply = BuildRoReply(
+        parked.request.request_id, parked.request.keys, batch_id, true);
+    if (!reply.ok()) {
+      ctx_->Send(parked.client,
+                 ShareMsg(UnserviceableReply(parked.request.request_id)), done);
+      continue;
+    }
     ++stats_.ro_round2_served;
-    ctx_->Send(parked.client,
-               ShareMsg(BuildRoReply(parked.request.request_id,
-                                     parked.request.keys, batch_id, true)),
-               done);
+    ctx_->Send(parked.client, ShareMsg(std::move(reply).value()), done);
   }
   parked_ro_ = std::move(still_parked);
 }

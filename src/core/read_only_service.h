@@ -19,6 +19,9 @@ class ReadOnlyService {
     uint64_t ro_round1_served = 0;
     uint64_t ro_round2_served = 0;
     uint64_t ro_round2_parked = 0;
+    /// Round-2 requests answered unserviceable because the dependency
+    /// lies beyond any batch this cluster could have certified.
+    uint64_t ro_round2_rejected = 0;
   };
 
   explicit ReadOnlyService(NodeContext* ctx);
@@ -36,8 +39,14 @@ class ReadOnlyService {
 
  private:
   /// Builds an authenticated response from log position `batch_id`.
-  wire::RoReply BuildRoReply(uint64_t request_id, const std::vector<Key>& keys,
-                             BatchId batch_id, bool second_round);
+  /// Fails when the batch (or its snapshot) is outside the retained
+  /// window; callers reply unserviceable instead of dereferencing an
+  /// error Result.
+  Result<wire::RoReply> BuildRoReply(uint64_t request_id,
+                                     const std::vector<Key>& keys,
+                                     BatchId batch_id, bool second_round);
+  /// "No certified state can serve this" reply (batch_id == kNoBatch).
+  wire::RoReply UnserviceableReply(uint64_t request_id) const;
   /// Earliest batch whose LCE satisfies `min_lce`; kNoBatch when none.
   BatchId FindBatchWithLce(BatchId min_lce) const;
 

@@ -3,6 +3,11 @@
 namespace transedge::core {
 
 void RoLockTable::Lock(uint64_t request_id, const std::vector<Key>& keys) {
+  // A re-lock under the same request id (client retry / duplicate
+  // delivery) replaces the old entry; releasing it first keeps the
+  // shared counts balanced — overwriting `by_request_` would leak the
+  // first call's counts and block writers on those keys forever.
+  Release(request_id);
   for (const Key& k : keys) ++shared_[k];
   by_request_[request_id] = keys;
 }

@@ -1,0 +1,269 @@
+#include "core/sharded_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/sha256.h"
+
+namespace transedge::core {
+
+uint32_t ShardKeyRouter::ShardOf(const Key& key) const {
+  if (shard_count_ == 1) return 0;
+  crypto::Digest d = crypto::Sha256::Hash(key);
+  if (kind_ == ShardRouterKind::kRange) {
+    // Merkle leaf-index space (digest bytes 0-3), contiguous ranges.
+    uint64_t h = (static_cast<uint64_t>(d.bytes[0]) << 24) |
+                 (static_cast<uint64_t>(d.bytes[1]) << 16) |
+                 (static_cast<uint64_t>(d.bytes[2]) << 8) |
+                 static_cast<uint64_t>(d.bytes[3]);
+    return static_cast<uint32_t>((h * shard_count_) >> 32);
+  }
+  // kHash: bytes 24-27, between the Merkle prefix and the partition
+  // suffix, so all three placements are independent.
+  uint32_t h = (static_cast<uint32_t>(d.bytes[24]) << 24) |
+               (static_cast<uint32_t>(d.bytes[25]) << 16) |
+               (static_cast<uint32_t>(d.bytes[26]) << 8) |
+               static_cast<uint32_t>(d.bytes[27]);
+  return h % shard_count_;
+}
+
+ShardedPipeline::ShardedPipeline(NodeContext* ctx, Hooks hooks)
+    : ctx_(ctx),
+      hooks_(std::move(hooks)),
+      router_(ctx->config().pipeline_shards,
+              ctx->config().pipeline_shard_router) {
+  uint32_t n = router_.shard_count();
+  shards_.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    Hooks shard_hooks = hooks_;
+    if (n > 1) {
+      shard_hooks.peer_admit = [this, s](const Transaction& txn) -> Status {
+        for (uint32_t t : PlanFor(txn).touched) {
+          if (t != s && shards_[t]->FootprintConflicts(txn)) {
+            return Status::Conflict("conflicts with in-progress batch");
+          }
+        }
+        return Status::OK();
+      };
+      shard_hooks.on_admitted = [this, s](const Transaction& txn) {
+        for (uint32_t t : PlanFor(txn).touched) {
+          if (t != s) shards_[t]->RecordPeerFootprint(SliceToShard(txn, t));
+        }
+      };
+      shard_hooks.propose_on_size = [this] { MaybeProposeOnSize(); };
+    }
+    shards_.push_back(
+        std::make_unique<BatchPipeline>(ctx_, std::move(shard_hooks)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+const ShardedPipeline::ShardPlan& ShardedPipeline::PlanFor(
+    const Transaction& txn) const {
+  if (plan_.valid && plan_.txn_id == txn.id) return plan_;
+  plan_.txn_id = txn.id;
+  plan_.read_shards.clear();
+  plan_.write_shards.clear();
+  plan_.touched.clear();
+  auto add = [&](const Key& key, std::vector<uint32_t>* out) {
+    uint32_t s = router_.ShardOf(key);
+    out->push_back(s);
+    if (std::find(plan_.touched.begin(), plan_.touched.end(), s) ==
+        plan_.touched.end()) {
+      plan_.touched.push_back(s);
+    }
+  };
+  for (const ReadOp& r : txn.read_set) add(r.key, &plan_.read_shards);
+  for (const WriteOp& w : txn.write_set) add(w.key, &plan_.write_shards);
+  if (plan_.touched.empty()) plan_.touched.push_back(0);
+  std::sort(plan_.touched.begin(), plan_.touched.end());
+  plan_.valid = true;
+  return plan_;
+}
+
+Transaction ShardedPipeline::SliceToShard(const Transaction& txn,
+                                          uint32_t shard) const {
+  const ShardPlan& plan = PlanFor(txn);
+  Transaction out;
+  out.id = txn.id;
+  for (size_t i = 0; i < txn.read_set.size(); ++i) {
+    if (plan.read_shards[i] == shard) out.read_set.push_back(txn.read_set[i]);
+  }
+  for (size_t i = 0; i < txn.write_set.size(); ++i) {
+    if (plan.write_shards[i] == shard) {
+      out.write_set.push_back(txn.write_set[i]);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Admission entry points
+// ---------------------------------------------------------------------------
+
+void ShardedPipeline::HandleCommitRequest(sim::ActorId from,
+                                          const wire::CommitRequest& msg) {
+  if (single()) {
+    shards_[0]->HandleCommitRequest(from, msg);
+    return;
+  }
+  shards_[HomeShardOf(msg.txn)]->HandleCommitRequest(from, msg);
+}
+
+Status ShardedPipeline::AdmitPrepared(const Transaction& txn) {
+  return shards_[single() ? 0 : HomeShardOf(txn)]->AdmitPrepared(txn);
+}
+
+bool ShardedPipeline::AlreadySeen(TxnId txn_id) const {
+  for (const auto& shard : shards_) {
+    if (shard->AlreadySeen(txn_id)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Proposal loop (merged batch; shards > 1)
+// ---------------------------------------------------------------------------
+
+void ShardedPipeline::OnStart() {
+  if (single()) {
+    shards_[0]->OnStart();
+    return;
+  }
+  StartBatchTimerLoop(ctx_, [this] {
+    if (ShouldPropose()) ProposeMerged();
+  });
+  if (ctx_->byzantine() != ByzantineBehavior::kCrash && ShouldPropose()) {
+    ProposeMerged();
+  }
+}
+
+bool ShardedPipeline::ShouldPropose() const {
+  return ShouldProposeNow(ctx_, proposing_, in_progress_size());
+}
+
+void ShardedPipeline::MaybeProposeOnSize() {
+  if (single()) {
+    shards_[0]->MaybeProposeOnSize();
+    return;
+  }
+  if (ctx_->IsLeader() && !proposing_ &&
+      in_progress_size() >= ctx_->config().max_batch_size) {
+    ProposeMerged();
+  }
+}
+
+void ShardedPipeline::ProposeMerged() {
+  proposing_ = true;
+  // Deterministic merge: by shard index, then admission order within the
+  // shard (DrainSegments preserves queue order).
+  std::vector<Transaction> local;
+  std::vector<Transaction> prepared;
+  std::vector<size_t> shard_sizes;
+  shard_sizes.reserve(shards_.size() + 1);
+  for (const auto& shard : shards_) {
+    shard_sizes.push_back(shard->in_progress_size());
+    shard->DrainSegments(&local, &prepared);
+  }
+  storage::Batch batch =
+      BuildBatchFromSegments(ctx_, std::move(local), std::move(prepared));
+  // The committed segment is assembled once by the merge step; its
+  // superlinear pressure is its own term next to the per-shard terms.
+  shard_sizes.push_back(batch.committed.size());
+  sim::Time cost = ctx_->ShardedBatchComputeCost(
+      shard_sizes, ctx_->config().cost.admit_per_txn / 4);
+  SealAndProposeBatch(ctx_, std::move(batch), cost, hooks_.propose);
+}
+
+// ---------------------------------------------------------------------------
+// Post-apply / view-change fan-out
+// ---------------------------------------------------------------------------
+
+void ShardedPipeline::OnBatchApplied(const storage::Batch& logged) {
+  if (single()) {
+    shards_[0]->OnBatchApplied(logged);
+    return;
+  }
+  proposing_ = false;
+  // Pure followers (and demoted leaders after their view change) hold no
+  // admission state at all — skip the per-key routing of the whole batch
+  // instead of computing a no-op split on every replica.
+  bool any_state = false;
+  for (const auto& shard : shards_) {
+    if (shard->seen_txn_count() > 0 || shard->in_progress_size() > 0) {
+      any_state = true;
+      break;
+    }
+  }
+  if (!any_state) return;
+  // Split the applied batch into per-home-shard sub-batches so each
+  // shard's own bookkeeping (footprint release, dedup drain, client
+  // replies) sees exactly the transactions it admitted, and release the
+  // footprint slices recorded in the other touched shards — exactly when
+  // the home shard indexed the transaction (a follower applying the
+  // leader's batch recorded no slices).
+  std::vector<storage::Batch> sub(shards_.size());
+  auto route = [&](const Transaction& t, bool is_local) {
+    uint32_t home = HomeShardOf(t);
+    if (shards_[home]->HasIndexed(t.id)) {
+      for (uint32_t s : PlanFor(t).touched) {
+        if (s != home) shards_[s]->ReleasePeerFootprint(SliceToShard(t, s));
+      }
+    }
+    if (is_local) {
+      sub[home].local.push_back(t);
+    } else {
+      sub[home].prepared.push_back(t);
+    }
+  };
+  for (const Transaction& t : logged.local) route(t, /*is_local=*/true);
+  for (const Transaction& t : logged.prepared) route(t, /*is_local=*/false);
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    sub[s].partition = logged.partition;
+    sub[s].id = logged.id;
+    shards_[s]->OnBatchApplied(sub[s]);
+  }
+  // Commit records carry only ids (no footprint to route): drain the
+  // decided distributed transactions from every shard's dedup set.
+  for (const storage::CommitRecord& rec : logged.committed) {
+    for (const auto& shard : shards_) shard->ForgetSeen(rec.txn_id);
+  }
+}
+
+void ShardedPipeline::OnViewChange() {
+  proposing_ = false;
+  for (const auto& shard : shards_) shard->OnViewChange();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+size_t ShardedPipeline::in_progress_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->in_progress_size();
+  return total;
+}
+
+size_t ShardedPipeline::seen_txn_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->seen_txn_count();
+  return total;
+}
+
+ShardedPipeline::Stats ShardedPipeline::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    const Stats& s = shard->stats();
+    total.local_committed += s.local_committed;
+    total.local_aborted += s.local_aborted;
+    total.dist_aborted += s.dist_aborted;
+    total.rw_aborted_by_ro_locks += s.rw_aborted_by_ro_locks;
+  }
+  return total;
+}
+
+}  // namespace transedge::core

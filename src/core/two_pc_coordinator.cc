@@ -104,6 +104,28 @@ void TwoPcCoordinator::HandleCommitRecord(sim::ActorId from,
   (void)s;
 }
 
+void TwoPcCoordinator::OnViewChange() {
+  sim::Time at = ctx_->busy_until();
+  for (auto it = coord_txns_.begin(); it != coord_txns_.end();) {
+    const CoordinatorTxn& coord = it->second;
+    // Admissions the view change wiped from the pipeline's queues can
+    // never progress — answer those clients instead of leaving them to
+    // their timeout, and drop the stale coordinator entry. Entries whose
+    // prepare reached a logged batch are kept: their groups live in the
+    // shared prepared-batches structure, though coordination state is
+    // leader-local, so if this replica stays demoted they are stranded
+    // until 2PC leader handover exists (pre-existing gap, see ROADMAP).
+    if (!coord.decided &&
+        ctx_->prepared_batches().FindTxn(it->first) == nullptr) {
+      ctx_->ReplyCommit(coord.client, it->first, false, "view change", at,
+                        /*retryable=*/true);
+      it = coord_txns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void TwoPcCoordinator::OnBatchApplied(const storage::Batch& logged,
                                       const storage::BatchCertificate& cert) {
   if (!ctx_->IsLeader()) return;

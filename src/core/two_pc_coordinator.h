@@ -53,6 +53,12 @@ class TwoPcCoordinator {
   void OnBatchApplied(const storage::Batch& logged,
                       const storage::BatchCertificate& cert);
 
+  /// A new view was adopted: coordinator transactions whose prepare was
+  /// abandoned with the batch pipeline's queues (never logged, never
+  /// decided) are dropped and their clients abort-replied (retryable),
+  /// mirroring the pipeline's handling of local waiting clients.
+  void OnViewChange();
+
   const Stats& stats() const { return stats_; }
 
  private:

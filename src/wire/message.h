@@ -88,6 +88,10 @@ struct CommitReply : TypedMessage<MessageType::kCommitReply> {
   TxnId txn_id = 0;
   bool committed = false;
   std::string reason;
+  /// Abort the client should transparently re-issue against the next
+  /// leader (same transaction id; admission dedup protects the old one),
+  /// e.g. a view change abandoning an undecided admission.
+  bool retryable = false;
 };
 
 /// One authenticated key result inside a read-only response.

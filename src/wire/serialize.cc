@@ -91,6 +91,7 @@ void EncodeBody(const CommitReply& msg, Encoder* enc) {
   enc->PutU64(msg.txn_id);
   enc->PutBool(msg.committed);
   enc->PutString(msg.reason);
+  enc->PutBool(msg.retryable);
 }
 
 void EncodeBody(const RoRequest& msg, Encoder* enc) {
@@ -311,6 +312,7 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->txn_id, d->GetU64());
         TE_ASSIGN_OR_RETURN(m->committed, d->GetBool());
         TE_ASSIGN_OR_RETURN(m->reason, d->GetString());
+        TE_ASSIGN_OR_RETURN(m->retryable, d->GetBool());
         return Status::OK();
       });
     case MessageType::kRoRequest:

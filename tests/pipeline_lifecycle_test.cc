@@ -1,0 +1,209 @@
+// Regression tests for the admission-pipeline lifecycle bugs that PR 1's
+// decomposition exposed: clients waiting on admissions abandoned by a
+// view change used to hang until the 2 s client timeout; applied
+// transactions never drained the leader's dedup set; and a round-2
+// read-only request with an impossible dependency parked forever.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/system.h"
+#include "workload/generator.h"
+
+namespace transedge {
+namespace {
+
+using core::Client;
+using core::RwResult;
+using core::System;
+using core::SystemConfig;
+
+struct Fixture {
+  SystemConfig config;
+  std::unique_ptr<System> system;
+  std::vector<std::pair<Key, Value>> data;
+  storage::PartitionMap pmap;
+
+  explicit Fixture(uint32_t partitions = 1, uint32_t f = 1,
+                   uint32_t pipeline_shards = 1)
+      : pmap(partitions) {
+    config.num_partitions = partitions;
+    config.f = f;
+    config.batch_interval = sim::Millis(5);
+    config.view_change_timeout = sim::Millis(80);
+    config.merkle_depth = 8;
+    config.pipeline_shards = pipeline_shards;
+    sim::EnvironmentOptions env_opts;
+    env_opts.seed = 77;
+    env_opts.inter_site_latency = sim::Millis(1);
+    system = std::make_unique<System>(config, env_opts);
+    workload::WorkloadOptions wopts;
+    wopts.num_keys = 200;
+    wopts.value_size = 8;
+    data = workload::KeySpace(wopts, partitions).InitialData();
+    system->Preload(data);
+    system->Start();
+  }
+
+  Key KeyIn(PartitionId p, size_t skip = 0) {
+    for (const auto& [key, value] : data) {
+      if (pmap.OwnerOf(key) == p && skip-- == 0) return key;
+    }
+    ADD_FAILURE();
+    return "";
+  }
+};
+
+class PipelineLifecycleTest : public ::testing::TestWithParam<uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(ShardCounts, PipelineLifecycleTest,
+                         ::testing::Values(1u, 4u));
+
+// A view change used to clear the in-progress queues but never answer
+// local_waiting_clients_: the client sat out its full 2 s timeout before
+// retrying. The leader now sends a retryable "view change" abort, so the
+// client re-issues against the new leader immediately and commits well
+// before the timeout could even fire once.
+TEST_P(PipelineLifecycleTest, ViewChangeAbortsWaitingClientsWhoThenCommit) {
+  // f = 2 so a half-split equivocation can never reach the 2f+1 quorum:
+  // the genesis proposal stalls and the cluster must change views while
+  // the client's admission is parked at the equivocator.
+  Fixture fx(/*partitions=*/1, /*f=*/2, /*pipeline_shards=*/GetParam());
+  fx.system->node(0, 0)->SetByzantineBehavior(
+      core::ByzantineBehavior::kEquivocate);
+  Client* client = fx.system->AddClient();
+
+  std::optional<RwResult> result;
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{fx.KeyIn(0), ToBytes("survives")}},
+                             [&](RwResult r) { result = std::move(r); });
+  });
+  fx.system->env().RunUntil(sim::Seconds(10));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+  // The abort-and-retry path resolves in view-change time (~100 ms), not
+  // client-timeout time (>= 2 s) — this is the regression assertion.
+  EXPECT_LT(result->latency, sim::Millis(1500));
+  EXPECT_EQ(client->stats().timeouts, 0u);
+  // The demoted leader holds no orphaned admission state.
+  EXPECT_EQ(fx.system->node(0, 0)->in_progress_size(), 0u);
+  EXPECT_EQ(fx.system->node(0, 0)->seen_txn_count(), 0u);
+}
+
+// OnBatchApplied used to early-return on non-leaders and never erase
+// applied transactions from seen_txns_, so the dedup set grew without
+// bound on every replica that ever led. It must drain as batches apply.
+TEST_P(PipelineLifecycleTest, DedupSetDrainsAsBatchesApply) {
+  Fixture fx(/*partitions=*/1, /*f=*/1, /*pipeline_shards=*/GetParam());
+  Client* client = fx.system->AddClient();
+
+  int committed = 0;
+  auto loop = std::make_shared<std::function<void()>>();
+  auto* loop_fn = loop.get();
+  *loop = [&, loop_fn] {
+    if (committed >= 20) return;
+    Key key = fx.KeyIn(0, static_cast<size_t>(committed % 5));
+    client->ExecuteReadWrite({}, {WriteOp{key, ToBytes("w")}},
+                             [&, loop_fn](RwResult r) {
+                               ASSERT_TRUE(r.committed) << r.reason;
+                               ++committed;
+                               (*loop_fn)();
+                             });
+  };
+  fx.system->env().Schedule(sim::Millis(30), *loop);
+  fx.system->env().RunUntil(sim::Seconds(5));
+
+  ASSERT_EQ(committed, 20);
+  for (uint32_t i = 0; i < fx.config.replicas_per_cluster(); ++i) {
+    EXPECT_EQ(fx.system->node(0, i)->seen_txn_count(), 0u)
+        << "replica " << i << " retains dedup entries for applied txns";
+    EXPECT_EQ(fx.system->node(0, i)->in_progress_size(), 0u);
+  }
+}
+
+// Probe actor for hand-crafted wire traffic.
+struct ReplyProbe : sim::Actor {
+  std::vector<wire::RoReply> replies;
+  void OnMessage(sim::ActorId, const sim::MessagePtr& msg) override {
+    if (static_cast<wire::MessageType>(msg->type()) ==
+        wire::MessageType::kRoReply) {
+      replies.push_back(static_cast<const wire::RoReply&>(*msg));
+    }
+  }
+};
+
+// A round-2 request whose min_lce lies beyond anything this cluster
+// could have certified used to park forever (and, had the log window
+// moved, BuildRoReply would have dereferenced an error Result). It now
+// draws an explicit unserviceable kNoBatch reply.
+TEST(RoWindowTest, OutOfWindowRound2RequestGetsNoBatch) {
+  Fixture fx(/*partitions=*/1, /*f=*/1);
+  fx.system->env().RunUntil(sim::Millis(100));  // Genesis certified.
+
+  ReplyProbe probe;
+  sim::ActorId probe_id = fx.config.ClientNode(1000);
+  fx.system->env().network().Register(probe_id, /*site=*/0, &probe);
+
+  const core::TransEdgeNode* leader = fx.system->leader(0);
+  wire::RoBatchRequest bogus;
+  bogus.request_id = 0xdead;
+  bogus.reply_to = probe_id;
+  bogus.keys = {fx.KeyIn(0)};
+  // Far beyond the log head + retained snapshot window.
+  bogus.min_lce = leader->log().LastBatchId() +
+                  static_cast<BatchId>(fx.config.snapshot_history) + 100;
+  fx.system->env().network().Send(probe_id, leader->id(),
+                                  core::ShareMsg(std::move(bogus)));
+  fx.system->env().RunUntil(fx.system->env().now() + sim::Millis(200));
+
+  ASSERT_EQ(probe.replies.size(), 1u);
+  EXPECT_EQ(probe.replies[0].request_id, 0xdeadu);
+  EXPECT_EQ(probe.replies[0].batch_id, kNoBatch);
+  EXPECT_EQ(fx.system->leader(0)->stats().ro_round2_rejected, 1u);
+  EXPECT_EQ(fx.system->leader(0)->stats().ro_round2_parked, 0u);
+}
+
+// A *satisfiable* future dependency must still park and then be served
+// once the LCE advances — the horizon guard must not over-reject.
+TEST(RoWindowTest, NearFutureDependencyStillParks) {
+  Fixture fx(/*partitions=*/2, /*f=*/1);
+  fx.system->env().RunUntil(sim::Millis(100));
+
+  ReplyProbe probe;
+  sim::ActorId probe_id = fx.config.ClientNode(1001);
+  fx.system->env().network().Register(probe_id, /*site=*/0, &probe);
+
+  const core::TransEdgeNode* leader = fx.system->leader(0);
+  wire::RoBatchRequest req;
+  req.request_id = 0xbeef;
+  req.reply_to = probe_id;
+  req.keys = {fx.KeyIn(0)};
+  // One past the current LCE: parked until a distributed commit lands.
+  req.min_lce = leader->log().back().batch.ro.lce + 1;
+  fx.system->env().network().Send(probe_id, leader->id(),
+                                  core::ShareMsg(std::move(req)));
+  fx.system->env().RunUntil(fx.system->env().now() + sim::Millis(50));
+  EXPECT_EQ(fx.system->leader(0)->stats().ro_round2_parked, 1u);
+  EXPECT_TRUE(probe.replies.empty());
+
+  // A distributed transaction commits, the LCE advances, the parked
+  // request is served with a real batch.
+  Client* client = fx.system->AddClient();
+  std::optional<RwResult> rw;
+  client->ExecuteReadWrite({}, {WriteOp{fx.KeyIn(0), ToBytes("x")},
+                                WriteOp{fx.KeyIn(1), ToBytes("y")}},
+                           [&](RwResult r) { rw = std::move(r); });
+  fx.system->env().RunUntil(fx.system->env().now() + sim::Seconds(3));
+
+  ASSERT_TRUE(rw.has_value());
+  EXPECT_TRUE(rw->committed) << rw->reason;
+  ASSERT_EQ(probe.replies.size(), 1u);
+  EXPECT_NE(probe.replies[0].batch_id, kNoBatch);
+  EXPECT_GE(probe.replies[0].lce, 0);
+}
+
+}  // namespace
+}  // namespace transedge

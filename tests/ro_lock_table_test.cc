@@ -69,5 +69,29 @@ TEST(RoLockTableTest, ReleaseOfUnknownRequestIsHarmless) {
   EXPECT_TRUE(table.BlocksWriter(WriterOf({"k"})));
 }
 
+// Regression: a re-lock under the same request id (client retry or
+// duplicate delivery) used to overwrite the request's key list while
+// leaving the first call's shared counts behind, so a single Release
+// could never drain them and writers stayed blocked forever.
+TEST(RoLockTableTest, RelockUnderSameRequestIdRoundTrips) {
+  core::RoLockTable table;
+  table.Lock(1, {"a", "b"});
+  table.Lock(1, {"a", "b"});  // Duplicate delivery of the same request.
+  table.Release(1);
+  EXPECT_EQ(table.locked_key_count(), 0u);
+  EXPECT_FALSE(table.BlocksWriter(WriterOf({"a"})));
+  EXPECT_FALSE(table.BlocksWriter(WriterOf({"b"})));
+}
+
+TEST(RoLockTableTest, RelockWithDifferentKeysReplacesTheOldEntry) {
+  core::RoLockTable table;
+  table.Lock(1, {"a"});
+  table.Lock(1, {"b"});  // Retry with a different key set.
+  EXPECT_FALSE(table.BlocksWriter(WriterOf({"a"})));  // Old count released.
+  EXPECT_TRUE(table.BlocksWriter(WriterOf({"b"})));
+  table.Release(1);
+  EXPECT_EQ(table.locked_key_count(), 0u);
+}
+
 }  // namespace
 }  // namespace transedge
