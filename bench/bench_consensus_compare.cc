@@ -1,0 +1,94 @@
+// Consensus-engine comparison (the Consensus interface's protocol axis):
+// the same local-write workload on one cluster under every
+// SystemConfig::consensus_kind, reporting committed throughput and the
+// engines' message complexity per decided batch. PBFT broadcasts every
+// vote (n-1 + 2·n·(n-1) messages per batch at n = 3f+1 replicas); the
+// linear-vote engine aggregates votes at the leader and broadcasts
+// quorum certificates (≈ 5·(n-1)), so its per-batch message count grows
+// linearly with the cluster size instead of quadratically — the gap this
+// bench pins, and the knob the ROADMAP's protocol-comparison axis sweeps.
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+struct Point {
+  double write_tps = 0;
+  double msgs_per_batch = 0;
+  uint64_t batches = 0;
+};
+
+Point RunOne(core::ConsensusKind kind, uint32_t f, uint64_t seed,
+             sim::Time measure, bool smoke) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.config.consensus_kind = kind;
+  setup.config.num_partitions = 1;  // Consensus is intra-cluster.
+  setup.config.f = f;
+  setup.workload.num_keys = 1000000;  // Paper key count; no preload.
+  setup.config.merkle_depth = 16;
+  World world(setup, /*preload=*/false);
+
+  int clients = smoke ? 40 : 100;
+  int concurrency = static_cast<int>(setup.config.max_batch_size / 50);
+  workload::ClosedLoopRunner runner(
+      world.system.get(), clients,
+      [&](Rng* rng) { return world.plans->MakeWriteOnly(3, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0x7e, concurrency);
+  runner.Start(sim::Millis(500), sim::Millis(500) + measure);
+  runner.RunToCompletion(smoke ? sim::Millis(800) : sim::Millis(1200));
+
+  Point point;
+  point.write_tps = runner.ThroughputTps();
+  uint64_t msgs = 0;
+  for (uint32_t i = 0; i < setup.config.replicas_per_cluster(); ++i) {
+    msgs += world.system->node(0, i)->stats().consensus_msgs_sent;
+  }
+  point.batches = world.system->node(0, 0)->stats().batches_decided;
+  if (point.batches > 0) {
+    point.msgs_per_batch =
+        static_cast<double>(msgs) / static_cast<double>(point.batches);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const sim::Time measure = smoke ? sim::Millis(1000) : sim::Millis(1500);
+  const core::ConsensusKind kinds[] = {core::ConsensusKind::kPbft,
+                                       core::ConsensusKind::kLinearVote};
+
+  if (smoke) {
+    std::printf("{\"bench\":\"consensus_compare\",\"smoke\":true,\"points\":[");
+    bool first = true;
+    for (core::ConsensusKind kind : kinds) {
+      Point p = RunOne(kind, /*f=*/2, 42, measure, smoke);
+      std::printf(
+          "%s{\"consensus\":\"%s\",\"write_tps\":%.0f,"
+          "\"consensus_msgs_per_batch\":%.1f}",
+          first ? "" : ",", core::ConsensusKindName(kind), p.write_tps,
+          p.msgs_per_batch);
+      first = false;
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
+  PrintHeader("Consensus engines: throughput and message complexity vs f");
+  std::printf("%-6s %-12s %14s %18s %10s\n", "f", "engine", "write TPS",
+              "msgs/batch", "batches");
+  for (uint32_t f : {1u, 2u, 4u}) {
+    for (core::ConsensusKind kind : kinds) {
+      Point p = RunOne(kind, f, 42, measure, smoke);
+      std::printf("%-6u %-12s %14.0f %18.1f %10llu\n", f,
+                  core::ConsensusKindName(kind), p.write_tps,
+                  p.msgs_per_batch,
+                  static_cast<unsigned long long>(p.batches));
+    }
+  }
+  return 0;
+}

@@ -44,6 +44,25 @@ struct CostModel {
   sim::Time signature_op = sim::Micros(25);
 };
 
+/// Which intra-cluster consensus engine certifies batches. Every engine
+/// produces the same `storage::BatchCertificate` (f+1 replica signatures
+/// over the batch/Merkle-root payload), so clients, 2PC proofs, and the
+/// read-only verification path are engine-agnostic.
+enum class ConsensusKind : uint8_t {
+  /// PBFT-style all-to-all voting (§3.2): PrePrepare broadcast, then
+  /// every replica broadcasts Prepare and Commit — O(n²) messages per
+  /// decided batch.
+  kPbft,
+  /// HotStuff-style linear voting: the leader broadcasts the proposal,
+  /// replicas vote *to the leader*, and the leader broadcasts quorum
+  /// certificates for the prepare and commit phases — O(n) messages per
+  /// phase.
+  kLinearVote,
+};
+
+/// Human-readable engine name ("pbft" / "linear_vote") for benches/logs.
+const char* ConsensusKindName(ConsensusKind kind);
+
 /// How the leader's sharded batch pipeline routes keys to admission
 /// shards (only meaningful when SystemConfig::pipeline_shards > 1).
 enum class ShardRouterKind : uint8_t {
@@ -72,6 +91,11 @@ struct SystemConfig {
 
   /// Key -> shard routing policy of the sharded pipeline.
   ShardRouterKind pipeline_shard_router = ShardRouterKind::kHash;
+
+  /// Intra-cluster consensus engine (see ConsensusKind). The default
+  /// keeps the PBFT-style engine byte-for-byte identical to the
+  /// pre-interface behavior.
+  ConsensusKind consensus_kind = ConsensusKind::kPbft;
 
   /// Tolerated byzantine failures per cluster (paper default: 2, i.e.
   /// 7 replicas per cluster).

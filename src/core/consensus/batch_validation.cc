@@ -1,0 +1,201 @@
+#include "core/consensus/batch_validation.h"
+
+#include <vector>
+
+#include "core/batch_apply.h"
+#include "core/cd_vector.h"
+#include "core/footprint_index.h"
+#include "txn/prepared_batches.h"
+
+namespace transedge::core {
+
+Bytes ProposalSignPayload(const crypto::Digest& digest) {
+  Encoder enc;
+  enc.PutString("transedge-batch-proposal");
+  enc.PutRaw(digest.bytes.data(), digest.bytes.size());
+  return enc.Take();
+}
+
+storage::BatchCertificate CertificatePayloadFor(PartitionId partition,
+                                                const storage::Batch& batch,
+                                                const crypto::Digest& digest) {
+  storage::BatchCertificate payload;
+  payload.partition = partition;
+  payload.batch_id = batch.id;
+  payload.batch_digest = digest;
+  payload.merkle_root = batch.ro.merkle_root;
+  payload.ro_digest = batch.ro.ComputeDigest();
+  return payload;
+}
+
+Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
+                             const merkle::MerkleTree::Snapshot&
+                                 adopted_snapshot,
+                             merkle::MerkleTree* post_tree) {
+  const SystemConfig& config = ctx->config();
+  storage::SmrLog& log = ctx->mutable_log();
+  txn::PreparedBatches& prepared = ctx->prepared_batches();
+  if (batch.partition != ctx->partition()) {
+    return Status::InvalidArgument("batch for wrong partition");
+  }
+  if (batch.id != log.LastBatchId() + 1) {
+    return Status::FailedPrecondition("batch id not next in log");
+  }
+
+  // Freshness window (§4.4.2): a malicious leader cannot timestamp a
+  // batch far from real time.
+  int64_t skew = batch.ro.timestamp_us - ctx->now();
+  if (skew < -config.freshness_window || skew > config.freshness_window) {
+    return Status::VerificationFailed("batch timestamp outside window");
+  }
+
+  const uint32_t shards = config.pipeline_shards == 0 ? 1
+                                                      : config.pipeline_shards;
+  if (shards > 1) {
+    // Re-validation partitions its conflict index the same way the
+    // sharded leader's admission did, so the superlinear churn term is
+    // paid per shard (balanced-router estimate; the routers are uniform).
+    size_t n = batch.TotalTransactions();
+    std::vector<size_t> sizes(shards, n / shards);
+    for (size_t i = 0; i < n % shards; ++i) ++sizes[i];
+    ctx->Charge(
+        ctx->ShardedBatchComputeCost(sizes, config.cost.validate_per_txn));
+  } else {
+    ctx->Charge(ctx->BatchComputeCost(batch.TotalTransactions(),
+                                      config.cost.validate_per_txn));
+  }
+
+  // Re-run Definition 3.1 on every transaction the leader admitted.
+  FootprintIndex batch_index;
+  auto check = [&](const Transaction& t) -> Status {
+    Transaction restricted = ctx->RestrictToPartition(t);
+    TE_RETURN_IF_ERROR(ctx->validator().CheckAgainstStore(restricted));
+    if (batch_index.ConflictsWith(t)) {
+      return Status::Conflict("conflict inside proposed batch");
+    }
+    if (ctx->pending_footprint().ConflictsWith(t)) {
+      return Status::Conflict("conflict with prepared transaction");
+    }
+    batch_index.Add(t);
+    return Status::OK();
+  };
+  for (const Transaction& t : batch.local) TE_RETURN_IF_ERROR(check(t));
+  for (const Transaction& t : batch.prepared) TE_RETURN_IF_ERROR(check(t));
+
+  // The committed segment must be exactly a ready prefix of our prepare
+  // groups, in Definition 4.1 order.
+  {
+    std::vector<BatchId> group_ids;
+    for (const storage::CommitRecord& rec : batch.committed) {
+      if (group_ids.empty() || group_ids.back() != rec.prepared_in_batch) {
+        group_ids.push_back(rec.prepared_in_batch);
+      }
+      if (prepared.FindTxn(rec.txn_id) == nullptr) {
+        return Status::VerificationFailed(
+            "commit record references unknown transaction");
+      }
+    }
+    for (size_t i = 1; i < group_ids.size(); ++i) {
+      if (group_ids[i - 1] >= group_ids[i]) {
+        return Status::VerificationFailed(
+            "commit records violate prepare-group order");
+      }
+    }
+    if (!group_ids.empty()) {
+      const txn::PrepareGroup* oldest = prepared.Oldest();
+      if (oldest == nullptr || oldest->prepared_in_batch != group_ids.front()) {
+        return Status::VerificationFailed(
+            "committed segment does not start at the oldest prepare group");
+      }
+    }
+  }
+
+  // LCE: must be the prepare-batch id of the last committed group, or
+  // carried forward.
+  BatchId expected_lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
+  if (!batch.committed.empty()) {
+    expected_lce = batch.committed.back().prepared_in_batch;
+  }
+  if (batch.ro.lce != expected_lce) {
+    return Status::VerificationFailed("LCE mismatch");
+  }
+
+  // CD vector: re-run Algorithm 1 and compare.
+  CdVector cd = log.empty() ? CdVector(config.num_partitions)
+                            : log.back().batch.ro.cd_vector;
+  if (cd.empty()) cd = CdVector(config.num_partitions);
+  for (const storage::CommitRecord& rec : batch.committed) {
+    if (!rec.committed) continue;
+    for (const storage::PreparedInfo& info : rec.participant_info) {
+      if (info.cd_vector.size() == cd.size()) cd.PairwiseMax(info.cd_vector);
+    }
+  }
+  cd.Set(ctx->partition(), batch.id);
+  if (!(cd == batch.ro.cd_vector)) {
+    return Status::VerificationFailed("CD vector mismatch");
+  }
+
+  // Merkle root: replay the writes on a clone and compare roots. Under
+  // the shared-merkle simulation shortcut, adopt the leader's persistent
+  // tree instead of re-hashing identical updates (host-CPU optimization
+  // only; simulated validation cost was charged above).
+  if (config.simulate_shared_merkle && adopted_snapshot.valid()) {
+    if (adopted_snapshot.RootDigest() != batch.ro.merkle_root) {
+      return Status::VerificationFailed("shared merkle root mismatch");
+    }
+    *post_tree = merkle::MerkleTree::FromSnapshot(adopted_snapshot);
+  } else {
+    *post_tree = ctx->mutable_tree().Clone();
+    ApplyBatchWritesToTree(post_tree, ctx->partition_map(), ctx->partition(),
+                           batch, prepared);
+    if (post_tree->RootDigest() != batch.ro.merkle_root) {
+      return Status::VerificationFailed("merkle root mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+size_t CountMatchingVotes(const std::map<crypto::NodeId, crypto::Digest>& votes,
+                          const crypto::Digest& digest) {
+  size_t n = 0;
+  for (const auto& [node, d] : votes) {
+    if (d == digest) ++n;
+  }
+  return n;
+}
+
+size_t SendEquivocatingVariants(NodeContext* ctx, const sim::MessagePtr& main,
+                                const sim::MessagePtr& alt, sim::Time at) {
+  size_t sent = 0;
+  bool flip = false;
+  for (crypto::NodeId member : ctx->cluster_members()) {
+    if (member == ctx->id()) continue;
+    ctx->Send(member, flip ? alt : main, at);
+    flip = !flip;
+    ++sent;
+  }
+  return sent;
+}
+
+storage::BatchCertificate AssembleCertificateFromShares(
+    NodeContext* ctx, const storage::Batch& batch,
+    const crypto::Digest& digest,
+    const std::map<crypto::NodeId, crypto::Digest>& votes,
+    const std::map<crypto::NodeId, crypto::Signature>& shares,
+    size_t max_signatures) {
+  storage::BatchCertificate cert =
+      CertificatePayloadFor(ctx->partition(), batch, digest);
+  Bytes payload = cert.SignedPayload();
+  for (const auto& [node, vote_digest] : votes) {
+    if (cert.signatures.size() >= max_signatures) break;
+    if (!(vote_digest == digest)) continue;
+    auto share = shares.find(node);
+    if (share == shares.end()) continue;
+    if (ctx->verifier().Verify(payload, share->second)) {
+      cert.signatures.Add(share->second);
+    }
+  }
+  return cert;
+}
+
+}  // namespace transedge::core

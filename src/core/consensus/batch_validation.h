@@ -1,0 +1,67 @@
+#ifndef TRANSEDGE_CORE_CONSENSUS_BATCH_VALIDATION_H_
+#define TRANSEDGE_CORE_CONSENSUS_BATCH_VALIDATION_H_
+
+#include <map>
+
+#include "core/node_context.h"
+#include "merkle/merkle_tree.h"
+#include "storage/batch.h"
+
+namespace transedge::core {
+
+/// Engine-independent pieces of batch certification, shared by every
+/// `Consensus` implementation: what a proposal signature covers, what a
+/// certificate share covers, and the full Definition 3.1 re-validation a
+/// replica runs before voting on a proposed batch.
+
+/// Bytes signed by the leader over a proposed batch digest.
+Bytes ProposalSignPayload(const crypto::Digest& digest);
+
+/// The certificate fields (no signatures) every replica's share commits
+/// to for `batch`: partition, batch id, batch digest, Merkle root, and
+/// the read-only-segment digest.
+storage::BatchCertificate CertificatePayloadFor(PartitionId partition,
+                                                const storage::Batch& batch,
+                                                const crypto::Digest& digest);
+
+/// Definition 3.1 re-validation plus read-only-segment recomputation for
+/// a proposed batch: partition/log-position checks, the freshness window
+/// (§4.4.2), per-transaction conflict re-checks, committed-segment order
+/// (Definition 4.1), LCE, CD vector (Algorithm 1), and the Merkle root.
+/// Charges the simulated validation cost. On success fills `post_tree`
+/// with the batch's post-state tree. `adopted_snapshot` is the leader's
+/// shared tree under `SystemConfig::simulate_shared_merkle` (invalid
+/// otherwise).
+Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
+                             const merkle::MerkleTree::Snapshot&
+                                 adopted_snapshot,
+                             merkle::MerkleTree* post_tree);
+
+/// Number of collected votes matching `digest`. Votes carry the digest
+/// the voter saw, so an equivocating leader's variants split the count.
+size_t CountMatchingVotes(const std::map<crypto::NodeId, crypto::Digest>& votes,
+                          const crypto::Digest& digest);
+
+/// The ByzantineBehavior::kEquivocate fault, shared by every engine's
+/// proposal path: sends `main` and `alt` alternately to every other
+/// cluster member, so the two halves of the cluster see conflicting
+/// variants and neither can gather a quorum of matching votes. Returns
+/// the number of messages sent (for the engine's stats counter).
+size_t SendEquivocatingVariants(NodeContext* ctx, const sim::MessagePtr& main,
+                                const sim::MessagePtr& alt, sim::Time at);
+
+/// Assembles the f+1 client-facing certificate from vote shares whose
+/// digest matches `digest`, verifying each share over the certificate
+/// payload. `max_signatures` bounds the set (certificate_size for the
+/// client certificate; quorum_size when the same object doubles as a
+/// linear-vote quorum certificate).
+storage::BatchCertificate AssembleCertificateFromShares(
+    NodeContext* ctx, const storage::Batch& batch,
+    const crypto::Digest& digest,
+    const std::map<crypto::NodeId, crypto::Digest>& votes,
+    const std::map<crypto::NodeId, crypto::Signature>& shares,
+    size_t max_signatures);
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_CONSENSUS_BATCH_VALIDATION_H_

@@ -1,0 +1,31 @@
+#include "core/consensus/consensus.h"
+
+#include <utility>
+
+#include "core/consensus/linear_vote_consensus.h"
+#include "core/consensus/pbft_consensus.h"
+
+namespace transedge::core {
+
+const char* ConsensusKindName(ConsensusKind kind) {
+  switch (kind) {
+    case ConsensusKind::kPbft:
+      return "pbft";
+    case ConsensusKind::kLinearVote:
+      return "linear_vote";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Consensus> MakeConsensus(NodeContext* ctx,
+                                         Consensus::Hooks hooks) {
+  switch (ctx->config().consensus_kind) {
+    case ConsensusKind::kLinearVote:
+      return std::make_unique<LinearVoteConsensus>(ctx, std::move(hooks));
+    case ConsensusKind::kPbft:
+      break;
+  }
+  return std::make_unique<PbftConsensus>(ctx, std::move(hooks));
+}
+
+}  // namespace transedge::core

@@ -1,0 +1,449 @@
+#include "core/consensus/linear_vote_consensus.h"
+
+#include <utility>
+
+#include "core/consensus/batch_validation.h"
+
+namespace transedge::core {
+
+LinearVoteConsensus::LinearVoteConsensus(NodeContext* ctx, Hooks hooks)
+    : ctx_(ctx), hooks_(std::move(hooks)) {}
+
+void LinearVoteConsensus::SendCounted(crypto::NodeId to,
+                                      const sim::MessagePtr& msg,
+                                      sim::Time at) {
+  ++stats_.messages_sent;
+  ctx_->Send(to, msg, at);
+}
+
+void LinearVoteConsensus::BroadcastCounted(const sim::MessagePtr& msg,
+                                           sim::Time at) {
+  stats_.messages_sent += ctx_->cluster_members().size() - 1;
+  ctx_->BroadcastToCluster(msg, at);
+}
+
+bool LinearVoteConsensus::OnMessage(sim::ActorId from,
+                                    const sim::Message& msg) {
+  switch (static_cast<wire::MessageType>(msg.type())) {
+    case wire::MessageType::kLinearPropose:
+      HandlePropose(from, static_cast<const wire::LinearProposeMsg&>(msg));
+      return true;
+    case wire::MessageType::kLinearVote:
+      HandleVote(from, static_cast<const wire::LinearVoteMsg&>(msg));
+      return true;
+    case wire::MessageType::kLinearQc:
+      HandleQc(from, static_cast<const wire::LinearQcMsg&>(msg));
+      return true;
+    case wire::MessageType::kLinearViewChange:
+      HandleViewChange(from,
+                       static_cast<const wire::LinearViewChangeMsg&>(msg));
+      return true;
+    case wire::MessageType::kLinearNewView:
+      HandleNewView(from, static_cast<const wire::LinearNewViewMsg&>(msg));
+      return true;
+    default:
+      return false;
+  }
+}
+
+Bytes LinearVoteConsensus::CommitVotePayload(
+    BatchId batch_id, const crypto::Digest& digest) const {
+  Encoder enc;
+  enc.PutString("transedge-linear-commit");
+  enc.PutU32(ctx_->partition());
+  enc.PutI64(batch_id);
+  enc.PutRaw(digest.bytes.data(), digest.bytes.size());
+  return enc.Take();
+}
+
+Bytes LinearVoteConsensus::ViewChangePayload(uint64_t new_view) const {
+  Encoder enc;
+  enc.PutString("transedge-linear-view-change");
+  enc.PutU32(ctx_->partition());
+  enc.PutU64(new_view);
+  return enc.Take();
+}
+
+// ---------------------------------------------------------------------------
+// Proposal and voting
+// ---------------------------------------------------------------------------
+
+void LinearVoteConsensus::Propose(storage::Batch batch,
+                                  merkle::MerkleTree post_tree) {
+  const SystemConfig& config = ctx_->config();
+  auto [it, inserted] = instances_.try_emplace(batch.id, config.merkle_depth);
+  Instance& inst = it->second;
+  inst.has_batch = true;
+  inst.post_tree = std::move(post_tree);
+  inst.digest = batch.ComputeDigest();
+  inst.batch = batch;
+  inst.validated = true;
+
+  // The leader's own certificate share doubles as its prepare vote.
+  storage::BatchCertificate payload =
+      CertificatePayloadFor(ctx_->partition(), batch, inst.digest);
+  crypto::Signature share = ctx_->Sign(payload.SignedPayload());
+  inst.prepare_votes[ctx_->id()] = inst.digest;
+  inst.prepare_shares[ctx_->id()] = share;
+  inst.sent_prepare_vote = true;
+
+  wire::LinearProposeMsg msg;
+  msg.view = view_;
+  msg.batch = std::move(batch);
+  msg.leader_signature = ctx_->Sign(ProposalSignPayload(inst.digest));
+  if (config.simulate_shared_merkle) {
+    msg.post_snapshot = inst.post_tree.GetSnapshot();
+  }
+
+  sim::Time done = ctx_->busy_until();
+  if (ctx_->byzantine() == ByzantineBehavior::kEquivocate) {
+    // Conflicting variants to the two halves of the cluster. Votes carry
+    // the digest the voter saw, so neither variant can aggregate a
+    // quorum of matching prepare shares at the (leader's own) collector.
+    wire::LinearProposeMsg alt = msg;
+    alt.batch.ro.timestamp_us += 1;
+    crypto::Digest alt_digest = alt.batch.ComputeDigest();
+    alt.leader_signature = ctx_->Sign(ProposalSignPayload(alt_digest));
+    stats_.messages_sent += SendEquivocatingVariants(
+        ctx_, ShareMsg(std::move(msg)), ShareMsg(std::move(alt)), done);
+    return;
+  }
+
+  BroadcastCounted(ShareMsg(std::move(msg)), done);
+  StartViewChangeTimer(inst.batch.id);
+  AdvanceConsensus();
+}
+
+void LinearVoteConsensus::HandlePropose(sim::ActorId from,
+                                        const wire::LinearProposeMsg& msg) {
+  if (msg.view != view_) return;
+  if (from != ctx_->config().LeaderOf(ctx_->partition(), view_)) return;
+  BatchId id = msg.batch.id;
+  if (id <= ctx_->mutable_log().LastBatchId()) return;  // Already decided.
+
+  auto [it, inserted] = instances_.try_emplace(id, ctx_->config().merkle_depth);
+  Instance& inst = it->second;
+  if (inst.has_batch) return;  // First proposal wins; duplicates ignored.
+
+  crypto::Digest digest = msg.batch.ComputeDigest();
+  if (!ctx_->verifier().Verify(ProposalSignPayload(digest),
+                               msg.leader_signature) ||
+      msg.leader_signature.signer != from) {
+    return;  // Forged or corrupted proposal.
+  }
+  inst.has_batch = true;
+  inst.batch = msg.batch;
+  inst.digest = digest;
+  inst.adopted_snapshot = msg.post_snapshot;
+
+  StartViewChangeTimer(id);
+  AdvanceConsensus();
+}
+
+void LinearVoteConsensus::HandleVote(sim::ActorId from,
+                                     const wire::LinearVoteMsg& msg) {
+  if (msg.view != view_) return;
+  if (!IsLeaderSelf()) return;  // Votes aggregate at the leader only.
+  if (msg.batch_id <= ctx_->mutable_log().LastBatchId()) return;
+  auto [it, inserted] =
+      instances_.try_emplace(msg.batch_id, ctx_->config().merkle_depth);
+  Instance& inst = it->second;
+  if (msg.phase == wire::kLinearPhasePrepare) {
+    inst.prepare_votes[from] = msg.batch_digest;
+    inst.prepare_shares[from] = msg.share;
+  } else {
+    inst.commit_votes[from] = msg.batch_digest;
+    inst.commit_shares[from] = msg.share;
+  }
+  AdvanceConsensus();
+}
+
+void LinearVoteConsensus::HandleQc(sim::ActorId from,
+                                   const wire::LinearQcMsg& msg) {
+  (void)from;  // QCs are self-certifying: quorums of signatures.
+  if (msg.view != view_) return;
+  BatchId id = msg.cert.batch_id;
+  if (id <= ctx_->mutable_log().LastBatchId()) return;
+  // QCs are self-contained, so verify on receipt — a forged QC must be
+  // dropped here, never stashed, or it would displace the genuine one
+  // (the leader does not resend). At most one digest per batch id can
+  // gather a quorum, so a verified QC is the decision of its phase.
+  const SystemConfig& config = ctx_->config();
+  if (msg.phase == wire::kLinearPhasePrepare) {
+    if (!msg.cert
+             .Verify(ctx_->verifier(), config.quorum_size(),
+                     ctx_->cluster_members())
+             .ok()) {
+      return;
+    }
+  } else {
+    if (!msg.cert
+             .Verify(ctx_->verifier(), config.certificate_size(),
+                     ctx_->cluster_members())
+             .ok() ||
+        !msg.commit_sigs
+             .VerifyQuorum(ctx_->verifier(),
+                           CommitVotePayload(id, msg.cert.batch_digest),
+                           config.quorum_size(), ctx_->cluster_members())
+             .ok()) {
+      return;
+    }
+  }
+  auto [it, inserted] = instances_.try_emplace(id, config.merkle_depth);
+  Instance& inst = it->second;
+  if (msg.phase == wire::kLinearPhasePrepare) {
+    inst.have_prepare_qc = true;
+    inst.certificate = msg.cert;
+  } else {
+    inst.have_commit_qc = true;
+    inst.certificate = msg.cert;
+    inst.commit_qc_sigs = msg.commit_sigs;
+  }
+  AdvanceConsensus();
+}
+
+// ---------------------------------------------------------------------------
+// Phase progression
+// ---------------------------------------------------------------------------
+
+void LinearVoteConsensus::AdvanceConsensus() {
+  const SystemConfig& config = ctx_->config();
+  BatchId next = ctx_->mutable_log().LastBatchId() + 1;
+  auto it = instances_.find(next);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  if (!inst.has_batch) return;
+
+  if (!inst.validated && !inst.validation_failed) {
+    Status s = ValidateProposedBatch(ctx_, inst.batch, inst.adopted_snapshot,
+                                     &inst.post_tree);
+    if (!s.ok()) {
+      // A correct replica stays silent on an invalid proposal; the
+      // progress timer will trigger a view change.
+      inst.validation_failed = true;
+      return;
+    }
+    inst.validated = true;
+  }
+  if (inst.validation_failed) return;
+
+  const crypto::NodeId leader =
+      config.LeaderOf(ctx_->partition(), view_);
+
+  // Replica: prepare vote to the leader.
+  if (!inst.sent_prepare_vote) {
+    storage::BatchCertificate payload =
+        CertificatePayloadFor(ctx_->partition(), inst.batch, inst.digest);
+    crypto::Signature share = ctx_->Sign(payload.SignedPayload());
+    inst.sent_prepare_vote = true;
+    wire::LinearVoteMsg msg;
+    msg.view = view_;
+    msg.batch_id = inst.batch.id;
+    msg.phase = wire::kLinearPhasePrepare;
+    msg.batch_digest = inst.digest;
+    msg.share = share;
+    SendCounted(leader, ShareMsg(std::move(msg)),
+                ctx_->Charge(config.cost.signature_op));
+  }
+
+  // Replica: prepare QC (verified on receipt) => commit vote to the
+  // leader. A digest mismatch means we hold an equivocation variant the
+  // quorum did not certify: stay silent and let the timer force a view
+  // change.
+  if (inst.have_prepare_qc && !inst.sent_commit_vote &&
+      inst.certificate.batch_digest == inst.digest) {
+    crypto::Signature share =
+        ctx_->Sign(CommitVotePayload(inst.batch.id, inst.digest));
+    inst.sent_commit_vote = true;
+    wire::LinearVoteMsg msg;
+    msg.view = view_;
+    msg.batch_id = inst.batch.id;
+    msg.phase = wire::kLinearPhaseCommit;
+    msg.batch_digest = inst.digest;
+    msg.share = share;
+    SendCounted(leader, ShareMsg(std::move(msg)),
+                ctx_->Charge(config.cost.signature_op));
+  }
+
+  // Replica: commit QC (verified on receipt) => decide.
+  if (inst.have_commit_qc && !inst.decided &&
+      inst.certificate.batch_digest == inst.digest) {
+    Decide(next);
+    return;
+  }
+
+  if (leader == ctx_->id()) LeaderAdvance(next, inst);
+}
+
+void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
+  const SystemConfig& config = ctx_->config();
+
+  if (!inst.prepare_qc_sent &&
+      CountMatchingVotes(inst.prepare_votes, inst.digest) >= config.quorum_size()) {
+    // Aggregate the prepare QC: a batch certificate carrying a quorum of
+    // shares (any f+1 subset is the client-facing certificate).
+    inst.certificate = AssembleCertificateFromShares(
+        ctx_, inst.batch, inst.digest, inst.prepare_votes, inst.prepare_shares,
+        config.quorum_size());
+    if (inst.certificate.signatures.size() < config.quorum_size()) {
+      return;  // A share failed verification; wait for more votes.
+    }
+    inst.prepare_qc_sent = true;
+
+    // The leader's own commit vote.
+    inst.commit_votes[ctx_->id()] = inst.digest;
+    inst.commit_shares[ctx_->id()] =
+        ctx_->Sign(CommitVotePayload(batch_id, inst.digest));
+    inst.sent_commit_vote = true;
+
+    wire::LinearQcMsg msg;
+    msg.view = view_;
+    msg.phase = wire::kLinearPhasePrepare;
+    msg.cert = inst.certificate;
+    BroadcastCounted(ShareMsg(std::move(msg)),
+                     ctx_->Charge(config.cost.signature_op));
+  }
+
+  if (inst.prepare_qc_sent && !inst.commit_qc_sent &&
+      CountMatchingVotes(inst.commit_votes, inst.digest) >= config.quorum_size()) {
+    Bytes payload = CommitVotePayload(batch_id, inst.digest);
+    crypto::SignatureSet commit_sigs;
+    for (const auto& [node, vote_digest] : inst.commit_votes) {
+      if (commit_sigs.size() >= config.quorum_size()) break;
+      if (!(vote_digest == inst.digest)) continue;
+      auto share = inst.commit_shares.find(node);
+      if (share == inst.commit_shares.end()) continue;
+      if (ctx_->verifier().Verify(payload, share->second)) {
+        commit_sigs.Add(share->second);
+      }
+    }
+    if (commit_sigs.size() < config.quorum_size()) return;
+    inst.commit_qc_sent = true;
+
+    wire::LinearQcMsg msg;
+    msg.view = view_;
+    msg.phase = wire::kLinearPhaseCommit;
+    msg.cert = inst.certificate;
+    msg.commit_sigs = std::move(commit_sigs);
+    BroadcastCounted(ShareMsg(std::move(msg)), ctx_->busy_until());
+    Decide(batch_id);
+  }
+}
+
+void LinearVoteConsensus::Decide(BatchId batch_id) {
+  auto it = instances_.find(batch_id);
+  if (it == instances_.end() || it->second.decided) return;
+  Instance& inst = it->second;
+  inst.decided = true;
+  Decided decided{std::move(inst.batch), std::move(inst.certificate),
+                  std::move(inst.post_tree)};
+  instances_.erase(it);
+  ++stats_.batches_decided;
+  // The hook applies the batch, drives 2PC / read-only follow-ups, and
+  // re-enters AdvanceConsensus for the next queued instance.
+  hooks_.on_decided(std::move(decided));
+}
+
+// ---------------------------------------------------------------------------
+// View changes (linear: requests to the prospective leader, QC broadcast)
+// ---------------------------------------------------------------------------
+
+void LinearVoteConsensus::StartViewChangeTimer(BatchId batch_id) {
+  uint64_t view_at_start = view_;
+  ctx_->Schedule(ctx_->config().view_change_timeout,
+                 [this, batch_id, view_at_start] {
+                   if (view_ != view_at_start) return;
+                   if (ctx_->mutable_log().LastBatchId() >= batch_id) {
+                     return;  // Decided in time.
+                   }
+                   RequestViewChange(view_ + 1);
+                 });
+}
+
+void LinearVoteConsensus::RequestViewChange(uint64_t target) {
+  if (target <= view_) return;
+  crypto::Signature sig = ctx_->Sign(ViewChangePayload(target));
+  crypto::NodeId prospective =
+      ctx_->config().LeaderOf(ctx_->partition(), target);
+  if (prospective == ctx_->id()) {
+    auto& votes = view_change_votes_[target];
+    votes[ctx_->id()] = sig;
+    if (votes.size() >= ctx_->config().quorum_size()) {
+      // Quorum already collected from earlier requests; announce.
+      wire::LinearNewViewMsg msg;
+      msg.new_view = target;
+      for (const auto& [node, s] : votes) msg.proof.Add(s);
+      BroadcastCounted(ShareMsg(std::move(msg)), ctx_->busy_until());
+      AdoptView(target);
+      return;
+    }
+  } else {
+    wire::LinearViewChangeMsg msg;
+    msg.new_view = target;
+    msg.last_committed = ctx_->mutable_log().LastBatchId();
+    msg.signature = sig;
+    SendCounted(prospective, ShareMsg(std::move(msg)),
+                ctx_->Charge(ctx_->config().cost.signature_op));
+  }
+  // If the prospective leader is faulty too, escalate past it after
+  // another timeout (stop as soon as any view change lands).
+  uint64_t view_at_request = view_;
+  ctx_->Schedule(ctx_->config().view_change_timeout,
+                 [this, target, view_at_request] {
+                   if (view_ != view_at_request) return;
+                   RequestViewChange(target + 1);
+                 });
+}
+
+void LinearVoteConsensus::HandleViewChange(
+    sim::ActorId from, const wire::LinearViewChangeMsg& msg) {
+  uint64_t target = msg.new_view;
+  if (target <= view_) return;
+  if (ctx_->config().LeaderOf(ctx_->partition(), target) != ctx_->id()) {
+    return;  // Misrouted; only the prospective leader aggregates.
+  }
+  if (!ctx_->verifier().Verify(ViewChangePayload(target), msg.signature) ||
+      msg.signature.signer != from) {
+    return;  // Forged request.
+  }
+  auto& votes = view_change_votes_[target];
+  votes[from] = msg.signature;
+  // Join once f+1 distinct replicas demand the change (at least one of
+  // them is honest); our own signature completes or advances the quorum.
+  if (votes.count(ctx_->id()) == 0 && votes.size() > ctx_->config().f) {
+    votes[ctx_->id()] = ctx_->Sign(ViewChangePayload(target));
+  }
+  if (votes.size() < ctx_->config().quorum_size()) return;
+
+  wire::LinearNewViewMsg announce;
+  announce.new_view = target;
+  for (const auto& [node, s] : votes) announce.proof.Add(s);
+  BroadcastCounted(ShareMsg(std::move(announce)),
+                   ctx_->Charge(ctx_->config().cost.signature_op));
+  AdoptView(target);
+}
+
+void LinearVoteConsensus::HandleNewView(sim::ActorId from,
+                                        const wire::LinearNewViewMsg& msg) {
+  (void)from;  // The proof quorum, not the sender, legitimises the change.
+  if (msg.new_view <= view_) return;
+  Status quorum = msg.proof.VerifyQuorum(
+      ctx_->verifier(), ViewChangePayload(msg.new_view),
+      ctx_->config().quorum_size(), ctx_->cluster_members());
+  if (!quorum.ok()) return;
+  AdoptView(msg.new_view);
+}
+
+void LinearVoteConsensus::AdoptView(uint64_t target) {
+  if (target <= view_) return;
+  view_ = target;
+  ++stats_.view_changes;
+  // Undecided proposals from the old view are abandoned; clients will
+  // retry against the new leader.
+  instances_.clear();
+  view_change_votes_.erase(view_change_votes_.begin(),
+                           view_change_votes_.upper_bound(target));
+  hooks_.on_view_adopted();
+}
+
+}  // namespace transedge::core

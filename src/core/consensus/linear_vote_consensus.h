@@ -1,0 +1,125 @@
+#ifndef TRANSEDGE_CORE_CONSENSUS_LINEAR_VOTE_CONSENSUS_H_
+#define TRANSEDGE_CORE_CONSENSUS_LINEAR_VOTE_CONSENSUS_H_
+
+#include <map>
+
+#include "core/consensus/consensus.h"
+#include "wire/message.h"
+
+namespace transedge::core {
+
+/// HotStuff-style leader-aggregated consensus (ConsensusKind::kLinearVote):
+/// two voting phases with O(n) messages each instead of PBFT's O(n²)
+/// all-to-all broadcasts.
+///
+///   1. The leader broadcasts LinearProposeMsg (the batch).
+///   2. Replicas re-validate (Definition 3.1, same checks as the PBFT
+///      engine) and send a prepare vote *to the leader*. The vote's
+///      share signs `BatchCertificate::SignedPayload()`, so the
+///      aggregated quorum certificate is byte-compatible with the f+1
+///      client certificate every other subsystem consumes.
+///   3. On 2f+1 matching prepare shares the leader broadcasts the
+///      prepare QC (a BatchCertificate carrying the quorum of shares).
+///   4. Replicas verify the QC and send a commit vote to the leader
+///      (share over the commit-vote payload).
+///   5. On 2f+1 matching commit shares the leader broadcasts the commit
+///      QC and decides; replicas decide on receipt. The commit QC
+///      repeats the prepare certificate, so deciding does not depend on
+///      having seen step 3.
+///
+/// View changes are linear too: a replica whose progress timer fires
+/// sends a signed LinearViewChangeMsg to the *prospective* leader of the
+/// next view; that leader aggregates 2f+1 signatures and broadcasts a
+/// QC-carrying LinearNewViewMsg which every replica adopts on
+/// verification. If the prospective leader is itself faulty, the
+/// initiator escalates to the following view after another timeout.
+class LinearVoteConsensus : public Consensus {
+ public:
+  LinearVoteConsensus(NodeContext* ctx, Hooks hooks);
+
+  uint64_t view() const override { return view_; }
+  void Propose(storage::Batch batch, merkle::MerkleTree post_tree) override;
+  bool OnMessage(sim::ActorId from, const sim::Message& msg) override;
+  void AdvanceConsensus() override;
+  void StartViewChangeTimer(BatchId batch_id) override;
+  const Stats& stats() const override { return stats_; }
+
+ private:
+  struct Instance {
+    bool has_batch = false;
+    storage::Batch batch;
+    crypto::Digest digest;
+    bool validated = false;
+    bool validation_failed = false;
+    merkle::MerkleTree post_tree;  // Tree with the batch's writes applied.
+    /// Leader-shared tree (SystemConfig::simulate_shared_merkle).
+    merkle::MerkleTree::Snapshot adopted_snapshot;
+
+    // Leader-side aggregation. Votes carry the digest the voter saw, so
+    // an equivocating leader's two variants split the vote.
+    std::map<crypto::NodeId, crypto::Digest> prepare_votes;
+    std::map<crypto::NodeId, crypto::Signature> prepare_shares;
+    std::map<crypto::NodeId, crypto::Digest> commit_votes;
+    std::map<crypto::NodeId, crypto::Signature> commit_shares;
+    bool prepare_qc_sent = false;
+    bool commit_qc_sent = false;
+
+    // Replica-side phase progress.
+    bool sent_prepare_vote = false;
+    bool sent_commit_vote = false;
+    bool have_prepare_qc = false;
+    /// Commit QC received before the batch finished validating; replayed
+    /// by AdvanceConsensus.
+    bool have_commit_qc = false;
+    /// Commit-QC signature set awaiting verification.
+    crypto::SignatureSet commit_qc_sigs;
+    /// Client-facing certificate (from own aggregation or a received QC).
+    storage::BatchCertificate certificate;
+    bool decided = false;
+
+    explicit Instance(int merkle_depth) : post_tree(merkle_depth) {}
+  };
+
+  void HandlePropose(sim::ActorId from, const wire::LinearProposeMsg& msg);
+  void HandleVote(sim::ActorId from, const wire::LinearVoteMsg& msg);
+  void HandleQc(sim::ActorId from, const wire::LinearQcMsg& msg);
+  void HandleViewChange(sim::ActorId from,
+                        const wire::LinearViewChangeMsg& msg);
+  void HandleNewView(sim::ActorId from, const wire::LinearNewViewMsg& msg);
+
+  bool IsLeaderSelf() const {
+    return ctx_->config().LeaderOf(ctx_->partition(), view_) == ctx_->id();
+  }
+
+  /// Bytes a commit-phase vote signs.
+  Bytes CommitVotePayload(BatchId batch_id, const crypto::Digest& digest) const;
+  /// Bytes a view-change vote signs.
+  Bytes ViewChangePayload(uint64_t new_view) const;
+
+  /// Leader: aggregate prepare/commit quorums and broadcast QCs; decide
+  /// on the commit quorum.
+  void LeaderAdvance(BatchId batch_id, Instance& inst);
+  /// Hands the decided batch to the node (exactly once, in log order).
+  void Decide(BatchId batch_id);
+
+  void RequestViewChange(uint64_t target);
+  void AdoptView(uint64_t target);
+
+  void SendCounted(crypto::NodeId to, const sim::MessagePtr& msg,
+                   sim::Time at);
+  void BroadcastCounted(const sim::MessagePtr& msg, sim::Time at);
+
+  NodeContext* ctx_;
+  Hooks hooks_;
+
+  uint64_t view_ = 0;
+  std::map<BatchId, Instance> instances_;
+  /// Prospective-leader aggregation of view-change signatures.
+  std::map<uint64_t, std::map<crypto::NodeId, crypto::Signature>>
+      view_change_votes_;
+  Stats stats_;
+};
+
+}  // namespace transedge::core
+
+#endif  // TRANSEDGE_CORE_CONSENSUS_LINEAR_VOTE_CONSENSUS_H_

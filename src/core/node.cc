@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "core/augustus_baseline.h"
-#include "core/consensus_engine.h"
+#include "core/consensus/consensus.h"
 #include "core/read_only_service.h"
 #include "core/sharded_pipeline.h"
 #include "core/two_pc_coordinator.h"
@@ -33,8 +33,8 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
   // The private-base conversion must happen in this class's scope.
   NodeContext* ctx = this;
 
-  ConsensusEngine::Hooks consensus_hooks;
-  consensus_hooks.on_decided = [this](ConsensusEngine::Decided d) {
+  Consensus::Hooks consensus_hooks;
+  consensus_hooks.on_decided = [this](Consensus::Decided d) {
     ApplyDecidedBatch(std::move(d.batch), std::move(d.certificate),
                       std::move(d.post_tree));
   };
@@ -42,8 +42,7 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
     pipeline_->OnViewChange();
     two_pc_->OnViewChange();
   };
-  consensus_ =
-      std::make_unique<ConsensusEngine>(ctx, std::move(consensus_hooks));
+  consensus_ = MakeConsensus(ctx, std::move(consensus_hooks));
 
   ShardedPipeline::Hooks pipeline_hooks;
   pipeline_hooks.propose = [this](storage::Batch batch,
@@ -118,6 +117,7 @@ const NodeStats& TransEdgeNode::stats() const {
   s.rw_aborted_by_ro_locks = pipeline_stats.rw_aborted_by_ro_locks;
   s.view_changes = consensus_->stats().view_changes;
   s.augustus_ro_served = augustus_->stats().augustus_ro_served;
+  s.consensus_msgs_sent = consensus_->stats().messages_sent;
   return s;
 }
 
@@ -198,22 +198,6 @@ void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
       read_only_->HandleRoBatchRequest(
           from, static_cast<const wire::RoBatchRequest&>(*msg));
       break;
-    case MessageType::kPrePrepare:
-      consensus_->HandlePrePrepare(
-          from, static_cast<const wire::PrePrepareMsg&>(*msg));
-      break;
-    case MessageType::kPrepare:
-      consensus_->HandlePrepare(from,
-                                static_cast<const wire::PrepareMsg&>(*msg));
-      break;
-    case MessageType::kCommit:
-      consensus_->HandleCommit(from,
-                               static_cast<const wire::CommitMsg&>(*msg));
-      break;
-    case MessageType::kViewChange:
-      consensus_->HandleViewChange(
-          from, static_cast<const wire::ViewChangeMsg&>(*msg));
-      break;
     case MessageType::kCoordPrepare:
       two_pc_->HandleCoordPrepare(
           from, static_cast<const wire::CoordPrepareMsg&>(*msg));
@@ -243,7 +227,11 @@ void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
           from, static_cast<const wire::AugustusRelease&>(*msg));
       break;
     default:
-      break;  // Unknown or client-side message types are ignored.
+      // The consensus engine's wire surface is private to the engine:
+      // anything the node does not route itself is offered to it.
+      // Unknown or client-side message types are ignored.
+      consensus_->OnMessage(from, *msg);
+      break;
   }
 }
 

@@ -20,7 +20,7 @@
 namespace transedge::core {
 
 class AugustusBaseline;
-class ConsensusEngine;
+class Consensus;
 class ReadOnlyService;
 class ShardedPipeline;
 class TwoPcCoordinator;
@@ -40,6 +40,10 @@ struct NodeStats {
   uint64_t rw_aborted_by_ro_locks = 0;  // Augustus interference (Table 1).
   uint64_t view_changes = 0;
   uint64_t augustus_ro_served = 0;
+  /// Protocol messages the consensus engine sent; divided by
+  /// batches_decided this is the engines' message-complexity axis
+  /// (bench_consensus_compare).
+  uint64_t consensus_msgs_sent = 0;
 };
 
 /// One TransEdge replica (one edge node).
@@ -48,7 +52,9 @@ struct NodeStats {
 /// engines plus the storage stack it owns (versioned store + Merkle tree
 /// + snapshot window + SMR log):
 ///
-///   - ConsensusEngine:  intra-cluster consensus on batches (§3.2)
+///   - Consensus:        intra-cluster consensus on batches (§3.2),
+///                       selected by SystemConfig::consensus_kind
+///                       (PbftConsensus or LinearVoteConsensus)
 ///   - ShardedPipeline:  leader admission and batch building (Figure 2),
 ///                       optionally sharded over disjoint key ranges
 ///                       (SystemConfig::pipeline_shards)
@@ -134,7 +140,8 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
 
   /// Applies a decided batch to the storage stack (store writes, prepare
   /// group transitions, tree/snapshot/log updates) and fans the follow-up
-  /// work out to the engines. Wired as ConsensusEngine's on_decided hook.
+  /// work out to the engines. Wired as the consensus engine's on_decided
+  /// hook.
   void ApplyDecidedBatch(storage::Batch batch,
                          storage::BatchCertificate certificate,
                          merkle::MerkleTree post_tree);
@@ -165,7 +172,7 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   FootprintIndex pending_index_;  // Prepared-but-undecided distributed txns.
 
   // Subsystem engines (wired in the constructor).
-  std::unique_ptr<ConsensusEngine> consensus_;
+  std::unique_ptr<Consensus> consensus_;
   std::unique_ptr<ShardedPipeline> pipeline_;
   std::unique_ptr<TwoPcCoordinator> two_pc_;
   std::unique_ptr<ReadOnlyService> read_only_;

@@ -106,23 +106,47 @@ void TwoPcCoordinator::HandleCommitRecord(sim::ActorId from,
 
 void TwoPcCoordinator::OnViewChange() {
   sim::Time at = ctx_->busy_until();
+  const bool leader = ctx_->IsLeader();  // Under the freshly adopted view.
   for (auto it = coord_txns_.begin(); it != coord_txns_.end();) {
     const CoordinatorTxn& coord = it->second;
-    // Admissions the view change wiped from the pipeline's queues can
-    // never progress — answer those clients instead of leaving them to
-    // their timeout, and drop the stale coordinator entry. Entries whose
-    // prepare reached a logged batch are kept: their groups live in the
-    // shared prepared-batches structure, though coordination state is
-    // leader-local, so if this replica stays demoted they are stranded
-    // until 2PC leader handover exists (pre-existing gap, see ROADMAP).
-    if (!coord.decided &&
-        ctx_->prepared_batches().FindTxn(it->first) == nullptr) {
+    // A still-present entry has not been client-replied (OnBatchApplied
+    // erases on reply). A demoted coordinator can drive none of them any
+    // further — not even decided ones, whose client reply and commit-
+    // record fan-out only happen on the leader — so it answers every
+    // waiting client with a retryable abort and drops the entry; the new
+    // leader unilaterally aborts the groups it inherits no state for. A
+    // (re-elected) leader keeps everything it can still drive and only
+    // drops undecided admissions the view change wiped from the
+    // pipeline's queues (never logged, never decidable).
+    const bool droppable =
+        !leader ||
+        (!coord.decided &&
+         ctx_->prepared_batches().FindTxn(it->first) == nullptr);
+    if (droppable) {
       ctx_->ReplyCommit(coord.client, it->first, false, "view change", at,
                         /*retryable=*/true);
       it = coord_txns_.erase(it);
     } else {
       ++it;
     }
+  }
+
+  if (!leader) return;
+  // New-leader side of the handover: undecided prepare groups this
+  // partition coordinates but nobody is driving any more (the demoted
+  // leader held the coordination state) would strand every participant
+  // cluster's committed segment behind them. Unilaterally abort them;
+  // the abort is safe because no commit record for the group can have
+  // been certified — the coordinator decides, and the only replica that
+  // could have decided never got its decision into a batch.
+  std::vector<const Transaction*> pending =
+      ctx_->prepared_batches().PendingTransactions();
+  for (const Transaction* txn : pending) {
+    if (txn->coordinator != ctx_->partition()) continue;
+    if (coord_txns_.count(txn->id) > 0) continue;  // Still driven here.
+    unilateral_aborts_.emplace(txn->id, *txn);
+    Status s = ctx_->prepared_batches().RecordDecision(txn->id, false, {});
+    (void)s;  // The transaction is pending by construction.
   }
 }
 
@@ -171,7 +195,25 @@ void TwoPcCoordinator::OnBatchApplied(const storage::Batch& logged,
   // (steps 7 and 8).
   for (const storage::CommitRecord& rec : logged.committed) {
     auto coord_it = coord_txns_.find(rec.txn_id);
-    if (coord_it == coord_txns_.end()) continue;
+    if (coord_it == coord_txns_.end()) {
+      // Unilateral abort from a leader handover: fan the decision to the
+      // participants so their prepare groups unblock. There is no client
+      // to answer — the demoted coordinator already abort-replied it.
+      auto ua_it = unilateral_aborts_.find(rec.txn_id);
+      if (ua_it == unilateral_aborts_.end()) continue;
+      for (PartitionId p : ua_it->second.participants) {
+        if (p == ctx_->partition()) continue;
+        wire::CommitRecordMsg msg;
+        msg.txn_id = rec.txn_id;
+        msg.commit = rec.committed;
+        msg.participant_info = rec.participant_info;
+        msg.proof = cert;
+        ctx_->SendToCluster(p, ShareMsg(std::move(msg)), at);
+      }
+      ++stats_.dist_aborted;
+      unilateral_aborts_.erase(ua_it);
+      continue;
+    }
     const Transaction& t = coord_it->second.txn;
     for (PartitionId p : t.participants) {
       if (p == ctx_->partition()) continue;

@@ -53,10 +53,25 @@ class TwoPcCoordinator {
   void OnBatchApplied(const storage::Batch& logged,
                       const storage::BatchCertificate& cert);
 
-  /// A new view was adopted: coordinator transactions whose prepare was
-  /// abandoned with the batch pipeline's queues (never logged, never
-  /// decided) are dropped and their clients abort-replied (retryable),
-  /// mirroring the pipeline's handling of local waiting clients.
+  /// A new view was adopted. Two cleanups keep distributed transactions
+  /// from stranding across the leader handover (ROADMAP's stranded-2PC
+  /// item, simple variant):
+  ///
+  ///   - A *demoted* coordinator drops every coordinator entry it still
+  ///     holds and abort-replies the waiting clients (retryable): it can
+  ///     drive none of them any further — votes route to the new leader,
+  ///     and even an already-collected decision only reaches clients and
+  ///     participants through the leader-only OnBatchApplied path. A
+  ///     (re-elected) leader drops only undecided admissions the view
+  ///     change wiped from the pipeline's queues (never logged, never
+  ///     decidable), mirroring the pipeline's handling of local waiting
+  ///     clients.
+  ///   - The *new* leader unilaterally aborts undecided prepare groups
+  ///     coordinated by this partition that it holds no coordination
+  ///     state for (they were driven by the demoted leader): it records
+  ///     an abort decision so the group drains through the next batch's
+  ///     committed segment, and fans the abort to the participants when
+  ///     that batch applies.
   void OnViewChange();
 
   const Stats& stats() const { return stats_; }
@@ -77,6 +92,10 @@ class TwoPcCoordinator {
 
   std::unordered_map<TxnId, CoordinatorTxn> coord_txns_;
   std::unordered_set<TxnId> participant_pending_;  // We prepared, not coord.
+  /// Transactions this (new) leader unilaterally aborted on view
+  /// adoption, kept so the abort's commit record can still be fanned out
+  /// to the participants (there is no CoordinatorTxn entry to consult).
+  std::unordered_map<TxnId, Transaction> unilateral_aborts_;
   Stats stats_;
 };
 

@@ -28,6 +28,16 @@ const char* MessageTypeName(MessageType type) {
       return "ViewChange";
     case MessageType::kNewView:
       return "NewView";
+    case MessageType::kLinearPropose:
+      return "LinearPropose";
+    case MessageType::kLinearVote:
+      return "LinearVote";
+    case MessageType::kLinearQc:
+      return "LinearQc";
+    case MessageType::kLinearViewChange:
+      return "LinearViewChange";
+    case MessageType::kLinearNewView:
+      return "LinearNewView";
     case MessageType::kCoordPrepare:
       return "CoordPrepare";
     case MessageType::kPrepared:

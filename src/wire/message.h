@@ -25,12 +25,19 @@ enum class MessageType : uint32_t {
   kRoReply = 6,
   kRoBatchRequest = 7,  // Second round of the read-only protocol.
 
-  // Intra-cluster consensus (PBFT-style).
+  // Intra-cluster consensus (PBFT-style engine).
   kPrePrepare = 20,
   kPrepare = 21,
   kCommit = 22,
   kViewChange = 23,
   kNewView = 24,
+
+  // Intra-cluster consensus (HotStuff-style linear-vote engine).
+  kLinearPropose = 25,
+  kLinearVote = 26,
+  kLinearQc = 27,
+  kLinearViewChange = 28,
+  kLinearNewView = 29,
 
   // Inter-cluster 2PC (leader-to-leader, each step backed by a batch
   // certificate from the sender's cluster).
@@ -183,6 +190,70 @@ struct ViewChangeMsg : TypedMessage<MessageType::kViewChange> {
 struct NewViewMsg : TypedMessage<MessageType::kNewView> {
   uint64_t new_view = 0;
   std::vector<ViewChangeMsg> proof;  // 2f+1 view-change votes
+};
+
+// ---------------------------------------------------------------------------
+// Intra-cluster consensus: linear-vote engine (ConsensusKind::kLinearVote)
+// ---------------------------------------------------------------------------
+
+/// Leader's proposal of the next batch (linear-vote engine). Identical
+/// role to PrePrepareMsg; replicas answer with votes *to the leader*
+/// instead of broadcasting, so (unlike PrePrepareMsg) no leader
+/// certificate share travels — the leader seeds its own share into its
+/// aggregation state locally.
+struct LinearProposeMsg : TypedMessage<MessageType::kLinearPropose> {
+  uint64_t view = 0;
+  storage::Batch batch;
+  crypto::Signature leader_signature;  // over the batch digest
+  /// Simulation shortcut (SystemConfig::simulate_shared_merkle); see
+  /// PrePrepareMsg::post_snapshot. Not serialized.
+  merkle::MerkleTree::Snapshot post_snapshot;
+};
+
+/// Voting phases of the linear-vote engine.
+inline constexpr uint32_t kLinearPhasePrepare = 0;
+inline constexpr uint32_t kLinearPhaseCommit = 1;
+
+/// Replica -> leader vote. The prepare-phase share signs
+/// `BatchCertificate::SignedPayload()` — the same bytes as a PBFT
+/// certificate share, so the aggregated quorum certificate doubles as
+/// the client-facing batch certificate. The commit-phase share signs the
+/// engine's commit-vote payload over (partition, batch id, digest).
+struct LinearVoteMsg : TypedMessage<MessageType::kLinearVote> {
+  uint64_t view = 0;
+  BatchId batch_id = kNoBatch;
+  uint32_t phase = kLinearPhasePrepare;
+  crypto::Digest batch_digest;
+  crypto::Signature share;
+};
+
+/// Leader -> replicas quorum certificate broadcast. `cert` is the batch
+/// certificate assembled from prepare shares: the prepare QC carries
+/// >= 2f+1 of them (any f+1 subset is a valid client certificate); the
+/// commit QC repeats it, alongside `commit_sigs`, so a replica that
+/// missed the prepare QC can still decide.
+struct LinearQcMsg : TypedMessage<MessageType::kLinearQc> {
+  uint64_t view = 0;
+  uint32_t phase = kLinearPhasePrepare;
+  storage::BatchCertificate cert;
+  /// Commit phase only: >= 2f+1 signatures over the commit-vote payload.
+  crypto::SignatureSet commit_sigs;
+};
+
+/// Replica -> prospective leader of `new_view` when the progress timer
+/// fires: O(n) per view change instead of PBFT's broadcast.
+struct LinearViewChangeMsg : TypedMessage<MessageType::kLinearViewChange> {
+  uint64_t new_view = 0;
+  BatchId last_committed = kNoBatch;
+  crypto::Signature signature;
+};
+
+/// New leader's QC-carrying announcement: 2f+1 view-change signatures
+/// prove the view change is legitimate, and every replica adopts on
+/// receipt.
+struct LinearNewViewMsg : TypedMessage<MessageType::kLinearNewView> {
+  uint64_t new_view = 0;
+  crypto::SignatureSet proof;
 };
 
 // ---------------------------------------------------------------------------

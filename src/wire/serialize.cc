@@ -149,6 +149,39 @@ void EncodeBody(const ViewChangeMsg& msg, Encoder* enc) {
   msg.signature.EncodeTo(enc);
 }
 
+void EncodeBody(const LinearProposeMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.view);
+  msg.batch.EncodeTo(enc);
+  msg.leader_signature.EncodeTo(enc);
+  // post_snapshot intentionally not serialized (simulation shortcut).
+}
+
+void EncodeBody(const LinearVoteMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.view);
+  enc->PutI64(msg.batch_id);
+  enc->PutU32(msg.phase);
+  PutDigest(enc, msg.batch_digest);
+  msg.share.EncodeTo(enc);
+}
+
+void EncodeBody(const LinearQcMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.view);
+  enc->PutU32(msg.phase);
+  msg.cert.EncodeTo(enc);
+  msg.commit_sigs.EncodeTo(enc);
+}
+
+void EncodeBody(const LinearViewChangeMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.new_view);
+  enc->PutI64(msg.last_committed);
+  msg.signature.EncodeTo(enc);
+}
+
+void EncodeBody(const LinearNewViewMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.new_view);
+  msg.proof.EncodeTo(enc);
+}
+
 void EncodeBody(const CoordPrepareMsg& msg, Encoder* enc) {
   msg.txn.EncodeTo(enc);
   enc->PutU32(msg.coordinator);
@@ -239,6 +272,21 @@ Bytes EncodeMessage(const sim::Message& msg) {
       break;
     case MessageType::kNewView:
       break;  // NewView carries only its proof set; unused on the wire.
+    case MessageType::kLinearPropose:
+      EncodeBody(static_cast<const LinearProposeMsg&>(msg), &enc);
+      break;
+    case MessageType::kLinearVote:
+      EncodeBody(static_cast<const LinearVoteMsg&>(msg), &enc);
+      break;
+    case MessageType::kLinearQc:
+      EncodeBody(static_cast<const LinearQcMsg&>(msg), &enc);
+      break;
+    case MessageType::kLinearViewChange:
+      EncodeBody(static_cast<const LinearViewChangeMsg&>(msg), &enc);
+      break;
+    case MessageType::kLinearNewView:
+      EncodeBody(static_cast<const LinearNewViewMsg&>(msg), &enc);
+      break;
     case MessageType::kCoordPrepare:
       EncodeBody(static_cast<const CoordPrepareMsg&>(msg), &enc);
       break;
@@ -379,6 +427,46 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->new_view, d->GetU64());
         TE_ASSIGN_OR_RETURN(m->last_committed, d->GetI64());
         TE_ASSIGN_OR_RETURN(m->signature, crypto::Signature::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kLinearPropose:
+      return Decode<LinearProposeMsg>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->view, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->batch, storage::Batch::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->leader_signature,
+                            crypto::Signature::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kLinearVote:
+      return Decode<LinearVoteMsg>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->view, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->batch_id, d->GetI64());
+        TE_ASSIGN_OR_RETURN(m->phase, d->GetU32());
+        TE_ASSIGN_OR_RETURN(m->batch_digest, GetDigest(d));
+        TE_ASSIGN_OR_RETURN(m->share, crypto::Signature::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kLinearQc:
+      return Decode<LinearQcMsg>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->view, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->phase, d->GetU32());
+        TE_ASSIGN_OR_RETURN(m->cert,
+                            storage::BatchCertificate::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->commit_sigs,
+                            crypto::SignatureSet::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kLinearViewChange:
+      return Decode<LinearViewChangeMsg>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->new_view, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->last_committed, d->GetI64());
+        TE_ASSIGN_OR_RETURN(m->signature, crypto::Signature::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kLinearNewView:
+      return Decode<LinearNewViewMsg>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->new_view, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->proof, crypto::SignatureSet::DecodeFrom(d));
         return Status::OK();
       });
     case MessageType::kCoordPrepare:

@@ -37,6 +37,11 @@ void EncodeBody(const PrePrepareMsg& msg, Encoder* enc);
 void EncodeBody(const PrepareMsg& msg, Encoder* enc);
 void EncodeBody(const CommitMsg& msg, Encoder* enc);
 void EncodeBody(const ViewChangeMsg& msg, Encoder* enc);
+void EncodeBody(const LinearProposeMsg& msg, Encoder* enc);
+void EncodeBody(const LinearVoteMsg& msg, Encoder* enc);
+void EncodeBody(const LinearQcMsg& msg, Encoder* enc);
+void EncodeBody(const LinearViewChangeMsg& msg, Encoder* enc);
+void EncodeBody(const LinearNewViewMsg& msg, Encoder* enc);
 void EncodeBody(const CoordPrepareMsg& msg, Encoder* enc);
 void EncodeBody(const PreparedMsg& msg, Encoder* enc);
 void EncodeBody(const CommitRecordMsg& msg, Encoder* enc);

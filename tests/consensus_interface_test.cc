@@ -1,0 +1,352 @@
+// The Consensus interface seam: every engine behind
+// SystemConfig::consensus_kind must produce the same committed store
+// state for the same workload/seed, valid f+1 certificates, and live
+// view changes. Also pins the message-complexity contrast the linear
+// engine exists for (O(n) vs O(n²) per decided batch).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "storage/partition_map.h"
+#include "workload/generator.h"
+
+namespace transedge {
+namespace {
+
+using core::Client;
+using core::ConsensusKind;
+using core::RwResult;
+using core::System;
+using core::SystemConfig;
+
+SystemConfig BaseConfig(ConsensusKind kind, uint32_t partitions = 2,
+                        uint32_t f = 1) {
+  SystemConfig config;
+  config.num_partitions = partitions;
+  config.f = f;
+  config.consensus_kind = kind;
+  config.batch_interval = sim::Millis(5);
+  config.view_change_timeout = sim::Millis(100);
+  config.merkle_depth = 8;
+  return config;
+}
+
+sim::EnvironmentOptions FastEnv(uint64_t seed = 7) {
+  sim::EnvironmentOptions opts;
+  opts.seed = seed;
+  opts.inter_site_latency = sim::Millis(1);
+  return opts;
+}
+
+std::vector<std::pair<Key, Value>> TestData(uint32_t partitions) {
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = 200;
+  wopts.value_size = 8;
+  return workload::KeySpace(wopts, partitions).InitialData();
+}
+
+/// Runs the same mixed workload (independent local writes, a contended
+/// read-modify-write chain, distributed cross-partition writes) under
+/// `kind` and returns the final committed state of every touched key,
+/// after asserting all replicas of the owning cluster agree on it.
+std::map<Key, std::string> RunWorkload(ConsensusKind kind, uint64_t seed) {
+  SystemConfig config = BaseConfig(kind);
+  System system(config, FastEnv(seed));
+  auto data = TestData(config.num_partitions);
+  system.Preload(data);
+  system.Start();
+
+  storage::PartitionMap pmap(config.num_partitions);
+  std::vector<Key> part0_keys, part1_keys;
+  for (const auto& [key, value] : data) {
+    (pmap.OwnerOf(key) == 0 ? part0_keys : part1_keys).push_back(key);
+  }
+
+  std::vector<Key> touched;
+  int pending = 0;
+  auto done = [&](RwResult r) {
+    EXPECT_TRUE(r.committed) << r.reason;
+    --pending;
+  };
+
+  // (a) Independent local writers on each partition.
+  for (int c = 0; c < 4; ++c) {
+    Client* client = system.AddClient();
+    Key k0 = part0_keys[static_cast<size_t>(c)];
+    Key k1 = part1_keys[static_cast<size_t>(c)];
+    touched.push_back(k0);
+    touched.push_back(k1);
+    system.env().Schedule(sim::Millis(20), [&, client, k0, k1, c] {
+      pending += 2;
+      client->ExecuteReadWrite(
+          {}, {WriteOp{k0, ToBytes("l" + std::to_string(c))}}, done);
+      client->ExecuteReadWrite(
+          {}, {WriteOp{k1, ToBytes("l" + std::to_string(c))}}, done);
+    });
+  }
+
+  // (b) A contended chain on one hot key: sequential read-modify-writes.
+  // `chain` lives in this frame, which outlives every simulated event.
+  std::function<void(int)> chain;
+  {
+    Client* client = system.AddClient();
+    Key hot = part0_keys[10];
+    touched.push_back(hot);
+    chain = [&, client, hot](int step) {
+      if (step >= 4) return;
+      ++pending;
+      client->ExecuteReadWrite(
+          {hot}, {WriteOp{hot, ToBytes("chain" + std::to_string(step))}},
+          [&, step](RwResult r) {
+            EXPECT_TRUE(r.committed) << r.reason;
+            --pending;
+            chain(step + 1);
+          });
+    };
+    system.env().Schedule(sim::Millis(20), [&chain] { chain(0); });
+  }
+
+  // (c) Distributed writers over disjoint cross-partition pairs.
+  for (int c = 0; c < 3; ++c) {
+    Client* client = system.AddClient();
+    Key a = part0_keys[static_cast<size_t>(13 + c)];
+    Key b = part1_keys[static_cast<size_t>(c + 5)];
+    touched.push_back(a);
+    touched.push_back(b);
+    system.env().Schedule(sim::Millis(25), [&, client, a, b, c] {
+      ++pending;
+      client->ExecuteReadWrite(
+          {}, {WriteOp{a, ToBytes("d" + std::to_string(c))},
+               WriteOp{b, ToBytes("d" + std::to_string(c))}},
+          done);
+    });
+  }
+
+  system.env().RunUntil(sim::Seconds(5));
+  EXPECT_EQ(pending, 0) << "workload did not drain under "
+                        << core::ConsensusKindName(kind);
+
+  std::map<Key, std::string> state;
+  for (const Key& key : touched) {
+    PartitionId p = pmap.OwnerOf(key);
+    auto value = system.node(p, 0)->store().Get(key);
+    EXPECT_TRUE(value.ok()) << key;
+    if (!value.ok()) continue;
+    state[key] = ToString(value->value);
+    for (uint32_t i = 1; i < config.replicas_per_cluster(); ++i) {
+      auto other = system.node(p, i)->store().Get(key);
+      EXPECT_TRUE(other.ok()) << key;
+      if (!other.ok()) continue;
+      EXPECT_EQ(ToString(other->value), state[key])
+          << "replica " << i << " diverges on " << key << " under "
+          << core::ConsensusKindName(kind);
+    }
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Engine invariance: identical committed state across engines
+// ---------------------------------------------------------------------------
+
+TEST(ConsensusInterfaceTest, CommittedStateIsIdenticalAcrossEngines) {
+  for (uint64_t seed : {7u, 21u}) {
+    std::map<Key, std::string> pbft = RunWorkload(ConsensusKind::kPbft, seed);
+    ASSERT_FALSE(pbft.empty());
+    std::map<Key, std::string> linear =
+        RunWorkload(ConsensusKind::kLinearVote, seed);
+    EXPECT_EQ(linear, pbft) << "engines diverged at seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear-vote engine basics
+// ---------------------------------------------------------------------------
+
+class LinearVoteTest : public ::testing::Test {};
+
+TEST_F(LinearVoteTest, ReplicasConvergeOnIdenticalLogs) {
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  System system(config, FastEnv());
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+  Client* client = system.AddClient();
+
+  int committed = 0;
+  system.env().Schedule(sim::Millis(30), [&] {
+    for (int i = 0; i < 20; ++i) {
+      client->ExecuteReadWrite(
+          {}, {WriteOp{data[static_cast<size_t>(i)].first, ToBytes("w")}},
+          [&](RwResult r) {
+            if (r.committed) ++committed;
+          });
+    }
+  });
+  system.env().RunUntil(sim::Seconds(2));
+  EXPECT_EQ(committed, 20);
+
+  const auto& reference = system.node(0, 0)->log();
+  ASSERT_GT(reference.size(), 0u);
+  for (uint32_t i = 1; i < config.replicas_per_cluster(); ++i) {
+    const auto& log = system.node(0, i)->log();
+    ASSERT_EQ(log.size(), reference.size()) << "replica " << i;
+    for (BatchId b = 0; b <= reference.LastBatchId(); ++b) {
+      EXPECT_EQ(log.Get(b).value()->batch.ComputeDigest(),
+                reference.Get(b).value()->batch.ComputeDigest())
+          << "batch " << b << " replica " << i;
+    }
+  }
+}
+
+TEST_F(LinearVoteTest, CertificatesCarryQuorumOfValidSignatures) {
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  System system(config, FastEnv());
+  system.Preload(TestData(1));
+  system.Start();
+  system.env().RunUntil(sim::Millis(100));
+
+  const auto& log = system.node(0, 0)->log();
+  ASSERT_GE(log.size(), 1u);
+  const storage::LogEntry* genesis = log.Get(0).value();
+  Status s = genesis->certificate.Verify(system.verifier(),
+                                         config.certificate_size(),
+                                         config.ClusterMembers(0));
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(genesis->certificate.batch_digest,
+            genesis->batch.ComputeDigest());
+  EXPECT_EQ(genesis->certificate.merkle_root, genesis->batch.ro.merkle_root);
+  EXPECT_EQ(genesis->certificate.ro_digest, genesis->batch.ro.ComputeDigest());
+  // Followers verify the same certificate object they logged.
+  for (uint32_t i = 1; i < config.replicas_per_cluster(); ++i) {
+    const auto& flog = system.node(0, i)->log();
+    ASSERT_GE(flog.size(), 1u) << "replica " << i;
+    EXPECT_TRUE(flog.Get(0)
+                    .value()
+                    ->certificate
+                    .Verify(system.verifier(), config.certificate_size(),
+                            config.ClusterMembers(0))
+                    .ok())
+        << "replica " << i;
+  }
+}
+
+TEST_F(LinearVoteTest, ViewChangeElectsNewLeaderAfterLeaderCrash) {
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  System system(config, FastEnv());
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+  // Let genesis commit under the original leader first.
+  system.env().RunUntil(sim::Millis(50));
+  ASSERT_GE(system.node(0, 0)->log().size(), 1u);
+
+  system.env().network().Disconnect(config.ReplicaNode(0, 0));
+  system.node(0, 0)->SetByzantineBehavior(core::ByzantineBehavior::kCrash);
+
+  Client* client = system.AddClient();
+  std::optional<RwResult> result;
+  system.env().Schedule(sim::Millis(100), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{data[0].first, ToBytes("post-vc")}},
+                             [&](RwResult r) { result = std::move(r); });
+  });
+  system.env().RunUntil(sim::Seconds(30));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+  bool view_advanced = false;
+  for (uint32_t i = 1; i < config.replicas_per_cluster(); ++i) {
+    if (system.node(0, i)->view() > 0) view_advanced = true;
+  }
+  EXPECT_TRUE(view_advanced);
+  for (uint32_t i = 1; i < config.replicas_per_cluster(); ++i) {
+    auto v = system.node(0, i)->store().Get(data[0].first);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(ToString(v->value), "post-vc");
+  }
+}
+
+TEST_F(LinearVoteTest, EquivocatingLeaderCannotCertifyEitherVariant) {
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  System system(config, FastEnv());
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+  // Equivocate from the start: not even genesis can gather a quorum of
+  // matching votes, and the cluster elects an honest leader instead.
+  system.node(0, 0)->SetByzantineBehavior(
+      core::ByzantineBehavior::kEquivocate);
+
+  Client* client = system.AddClient();
+  std::optional<RwResult> result;
+  system.env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{data[0].first, ToBytes("honest")}},
+                             [&](RwResult r) { result = std::move(r); });
+  });
+  system.env().RunUntil(sim::Seconds(30));
+
+  // No batch proposed by the equivocator was certified on any honest
+  // replica; once an honest leader takes over the write commits.
+  for (uint32_t i = 1; i < config.replicas_per_cluster(); ++i) {
+    const auto& log = system.node(0, i)->log();
+    for (BatchId b = 0; b <= log.LastBatchId(); ++b) {
+      EXPECT_TRUE(log.Get(b)
+                      .value()
+                      ->certificate
+                      .Verify(system.verifier(), config.certificate_size(),
+                              config.ClusterMembers(0))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+}
+
+// ---------------------------------------------------------------------------
+// Message complexity: the reason the linear engine exists
+// ---------------------------------------------------------------------------
+
+TEST(ConsensusInterfaceTest, LinearVoteSendsFewerMessagesPerBatch) {
+  auto msgs_per_batch = [](ConsensusKind kind) {
+    SystemConfig config = BaseConfig(kind, /*partitions=*/1, /*f=*/2);
+    System system(config, FastEnv());
+    auto data = TestData(1);
+    system.Preload(data);
+    system.Start();
+    Client* client = system.AddClient();
+    system.env().Schedule(sim::Millis(30), [&] {
+      for (int i = 0; i < 30; ++i) {
+        client->ExecuteReadWrite(
+            {}, {WriteOp{data[static_cast<size_t>(i)].first, ToBytes("w")}},
+            [](RwResult) {});
+      }
+    });
+    system.env().RunUntil(sim::Seconds(2));
+
+    uint64_t msgs = 0;
+    uint64_t batches = system.node(0, 0)->stats().batches_decided;
+    for (uint32_t i = 0; i < config.replicas_per_cluster(); ++i) {
+      msgs += system.node(0, i)->stats().consensus_msgs_sent;
+    }
+    EXPECT_GT(batches, 0u);
+    return static_cast<double>(msgs) / static_cast<double>(batches);
+  };
+
+  double pbft = msgs_per_batch(ConsensusKind::kPbft);
+  double linear = msgs_per_batch(ConsensusKind::kLinearVote);
+  // n = 7: PBFT ≈ n-1 + 2·n·(n-1) ≈ 90 per batch; linear ≈ 5·(n-1) = 30.
+  EXPECT_LT(linear, pbft / 2.0)
+      << "linear=" << linear << " pbft=" << pbft;
+}
+
+}  // namespace
+}  // namespace transedge

@@ -252,5 +252,149 @@ TEST(TwoPcTest, LceIsMonotonicallyNonDecreasing) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Leader handover: stale coordinator groups (parameterized over engines)
+// ---------------------------------------------------------------------------
+
+// A view change must not strand a distributed transaction whose prepare
+// the demoted leader already logged: the demoted coordinator answers its
+// waiting client with a retryable abort, and the new leader unilaterally
+// aborts the undecided group so every participant cluster's committed
+// segment unblocks. The scenario keeps the old leader alive (it merely
+// stops being heard): its proposals are filtered once the prepare is
+// logged, and the participant's Prepared votes to it are swallowed, so
+// the decision can never be reached in the old view.
+class StaleGroupHandoverTest
+    : public ::testing::TestWithParam<core::ConsensusKind> {};
+
+TEST_P(StaleGroupHandoverTest, NewLeaderAbortsStrandedCoordinatorGroups) {
+  SystemConfig config;
+  config.num_partitions = 2;
+  config.f = 1;
+  config.consensus_kind = GetParam();
+  config.batch_interval = sim::Millis(5);
+  config.view_change_timeout = sim::Millis(150);
+  config.merkle_depth = 8;
+  sim::EnvironmentOptions env_opts;
+  env_opts.seed = 11;
+  env_opts.inter_site_latency = sim::Millis(1);
+  System system(config, env_opts);
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = 200;
+  wopts.value_size = 8;
+  auto data = workload::KeySpace(wopts, 2).InitialData();
+  system.Preload(data);
+  system.Start();
+
+  storage::PartitionMap pmap(2);
+  auto key_in = [&](PartitionId p, size_t skip) {
+    for (const auto& [key, value] : data) {
+      if (pmap.OwnerOf(key) == p && skip-- == 0) return key;
+    }
+    return Key();
+  };
+  Key k0 = key_in(0, 0), k1 = key_in(1, 0);
+
+  // The stranded transaction is the client's first (txn seq 1, odd), so
+  // it picks participants[1] — partition 1 — as coordinator.
+  const crypto::NodeId old_leader = config.ReplicaNode(1, 0);
+  // (1) Swallow the participant's Prepared votes to the old leader for
+  // the whole run: the stranded transaction's decision can never form in
+  // view 0. (2) After its prepare is logged, also swallow the old
+  // leader's proposals: the cluster stops hearing it and elects a new
+  // leader, while the old one stays up to be demoted — and to send its
+  // waiting client the retryable abort.
+  system.env().network().SetLinkFilter(
+      [&, old_leader](sim::ActorId from, sim::ActorId to,
+                      const sim::MessagePtr& msg) {
+        auto type = static_cast<wire::MessageType>(msg->type());
+        if (to == old_leader && type == wire::MessageType::kPrepared) {
+          return false;
+        }
+        if (from == old_leader && system.env().now() >= sim::Millis(100) &&
+            (type == wire::MessageType::kPrePrepare ||
+             type == wire::MessageType::kLinearPropose)) {
+          return false;
+        }
+        return true;
+      });
+
+  // The transaction that will strand: its prepare logs at ~45 ms, well
+  // before the proposal filter engages.
+  Client* stranded_client = system.AddClient();
+  std::optional<RwResult> stranded;
+  system.env().Schedule(sim::Millis(30), [&] {
+    stranded_client->ExecuteReadWrite(
+        {}, {WriteOp{k0, ToBytes("stranded")}, WriteOp{k1, ToBytes("str1")}},
+        [&](RwResult r) { stranded = std::move(r); });
+  });
+  // Sanity: the prepare reached partition 0's log before the filter cut
+  // the old leader off.
+  system.env().Schedule(sim::Millis(100), [&] {
+    const auto& log = system.node(1, 0)->log();
+    bool prepared_logged = false;
+    for (BatchId b = 0; b <= log.LastBatchId(); ++b) {
+      if (!log.Get(b).value()->batch.prepared.empty()) prepared_logged = true;
+    }
+    ASSERT_TRUE(prepared_logged) << "prepare did not log in time";
+  });
+
+  // Local traffic whose client-timeout retries arm the progress timers
+  // on the followers, driving the view change.
+  Client* local_client = system.AddClient();
+  std::optional<RwResult> local;
+  system.env().Schedule(sim::Millis(150), [&] {
+    local_client->ExecuteReadWrite(
+        {}, {WriteOp{key_in(1, 5), ToBytes("local")}},
+        [&](RwResult r) { local = std::move(r); });
+  });
+
+  // After the handover settles, a fresh distributed transaction across
+  // the same clusters: it can only commit if the stranded group was
+  // decided on *both* partitions (Definition 4.1 forces groups to commit
+  // in prepare order).
+  Client* later_client = system.AddClient();
+  std::optional<RwResult> later;
+  system.env().Schedule(sim::Seconds(15), [&] {
+    later_client->ExecuteReadWrite(
+        {}, {WriteOp{key_in(0, 6), ToBytes("post")},
+             WriteOp{key_in(1, 6), ToBytes("post")}},
+        [&](RwResult r) { later = std::move(r); });
+  });
+
+  system.env().RunUntil(sim::Seconds(40));
+
+  // Partition 1 elected a new leader.
+  bool view_advanced = false;
+  for (uint32_t i = 1; i < config.replicas_per_cluster(); ++i) {
+    if (system.node(1, i)->view() > 0) view_advanced = true;
+  }
+  ASSERT_TRUE(view_advanced) << "no view change happened";
+
+  // The stranded client was answered (retryable abort from the demoted
+  // coordinator, then the retry's own outcome) instead of hanging.
+  ASSERT_TRUE(stranded.has_value()) << "stranded client never answered";
+  // The new leader recorded the unilateral abort.
+  uint64_t dist_aborted = 0;
+  for (uint32_t i = 0; i < config.replicas_per_cluster(); ++i) {
+    dist_aborted += system.node(1, i)->stats().dist_aborted;
+  }
+  EXPECT_GE(dist_aborted, 1u);
+
+  ASSERT_TRUE(local.has_value());
+  EXPECT_TRUE(local->committed) << local->reason;
+  ASSERT_TRUE(later.has_value()) << "post-handover distributed txn hung";
+  EXPECT_TRUE(later->committed)
+      << "stranded group still blocks 2PC: " << later->reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, StaleGroupHandoverTest,
+    ::testing::Values(core::ConsensusKind::kPbft,
+                      core::ConsensusKind::kLinearVote),
+    [](const ::testing::TestParamInfo<core::ConsensusKind>& info) {
+      return std::string(core::ConsensusKindName(info.param));
+    });
+
 }  // namespace
 }  // namespace transedge

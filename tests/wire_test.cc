@@ -199,6 +199,67 @@ TEST(WireTest, ConsensusVotesRoundTrip) {
   EXPECT_EQ(v->new_view, 2u);
 }
 
+TEST(WireTest, LinearVoteMessagesRoundTrip) {
+  LinearProposeMsg propose;
+  propose.view = 3;
+  propose.batch.partition = 1;
+  propose.batch.id = 9;
+  propose.batch.local = {SampleTxn()};
+  propose.leader_signature = crypto::Signature{0, D("ls")};
+  auto pr = RoundTrip(propose);
+  ASSERT_NE(pr, nullptr);
+  EXPECT_EQ(pr->view, 3u);
+  EXPECT_EQ(pr->batch.id, 9);
+  ASSERT_EQ(pr->batch.local.size(), 1u);
+  EXPECT_EQ(pr->batch.local[0], propose.batch.local[0]);
+  // The simulation-only snapshot never travels.
+  EXPECT_FALSE(pr->post_snapshot.valid());
+
+  LinearVoteMsg vote;
+  vote.view = 3;
+  vote.batch_id = 9;
+  vote.phase = kLinearPhaseCommit;
+  vote.batch_digest = D("d");
+  vote.share = crypto::Signature{2, D("s")};
+  auto v = RoundTrip(vote);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->phase, kLinearPhaseCommit);
+  EXPECT_EQ(v->batch_digest, vote.batch_digest);
+  EXPECT_EQ(v->share, vote.share);
+
+  LinearQcMsg qc;
+  qc.view = 3;
+  qc.phase = kLinearPhaseCommit;
+  qc.cert = SampleCert();
+  qc.commit_sigs.Add(crypto::Signature{1, D("c1")});
+  qc.commit_sigs.Add(crypto::Signature{2, D("c2")});
+  auto q = RoundTrip(qc);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cert.batch_id, qc.cert.batch_id);
+  EXPECT_EQ(q->cert.signatures.size(), qc.cert.signatures.size());
+  ASSERT_EQ(q->commit_sigs.size(), 2u);
+  EXPECT_EQ(q->commit_sigs.signatures[1], qc.commit_sigs.signatures[1]);
+
+  LinearViewChangeMsg vc;
+  vc.new_view = 4;
+  vc.last_committed = 8;
+  vc.signature = crypto::Signature{3, D("v")};
+  auto lvc = RoundTrip(vc);
+  ASSERT_NE(lvc, nullptr);
+  EXPECT_EQ(lvc->new_view, 4u);
+  EXPECT_EQ(lvc->last_committed, 8);
+
+  LinearNewViewMsg nv;
+  nv.new_view = 4;
+  nv.proof.Add(crypto::Signature{0, D("p0")});
+  nv.proof.Add(crypto::Signature{1, D("p1")});
+  nv.proof.Add(crypto::Signature{2, D("p2")});
+  auto n = RoundTrip(nv);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->new_view, 4u);
+  EXPECT_EQ(n->proof.size(), 3u);
+}
+
 TEST(WireTest, AugustusMessagesRoundTrip) {
   AugustusRoRequest req;
   req.request_id = 1;
