@@ -21,7 +21,7 @@ void StartBatchTimerLoop(NodeContext* ctx, std::function<void()> try_propose) {
 }
 
 bool ShouldProposeNow(NodeContext* ctx, bool proposing, size_t in_progress) {
-  if (!ctx->IsLeader() || proposing) return false;
+  if (!ctx->IsLeader() || proposing || ctx->ReproposalPending()) return false;
   if (ctx->mutable_log().empty()) {
     return true;  // Genesis batch, certifies preload state.
   }
@@ -52,7 +52,7 @@ void BatchPipeline::MaybeProposeOnSize() {
     hooks_.propose_on_size();
     return;
   }
-  if (ctx_->IsLeader() && !proposing_ &&
+  if (ctx_->IsLeader() && !proposing_ && !ctx_->ReproposalPending() &&
       in_progress_size() >= ctx_->config().max_batch_size) {
     ProposeBatch();
   }

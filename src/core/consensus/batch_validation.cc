@@ -177,6 +177,24 @@ size_t SendEquivocatingVariants(NodeContext* ctx, const sim::MessagePtr& main,
   return sent;
 }
 
+crypto::SignatureSet CollectVerifiedShares(
+    NodeContext* ctx, const Bytes& payload,
+    const std::map<crypto::NodeId, crypto::Digest>& votes,
+    const std::map<crypto::NodeId, crypto::Signature>& shares,
+    const crypto::Digest& digest, size_t max_signatures) {
+  crypto::SignatureSet set;
+  for (const auto& [node, vote_digest] : votes) {
+    if (set.size() >= max_signatures) break;
+    if (!(vote_digest == digest)) continue;
+    auto share = shares.find(node);
+    if (share == shares.end()) continue;
+    if (ctx->verifier().Verify(payload, share->second)) {
+      set.Add(share->second);
+    }
+  }
+  return set;
+}
+
 storage::BatchCertificate AssembleCertificateFromShares(
     NodeContext* ctx, const storage::Batch& batch,
     const crypto::Digest& digest,
@@ -185,16 +203,8 @@ storage::BatchCertificate AssembleCertificateFromShares(
     size_t max_signatures) {
   storage::BatchCertificate cert =
       CertificatePayloadFor(ctx->partition(), batch, digest);
-  Bytes payload = cert.SignedPayload();
-  for (const auto& [node, vote_digest] : votes) {
-    if (cert.signatures.size() >= max_signatures) break;
-    if (!(vote_digest == digest)) continue;
-    auto share = shares.find(node);
-    if (share == shares.end()) continue;
-    if (ctx->verifier().Verify(payload, share->second)) {
-      cert.signatures.Add(share->second);
-    }
-  }
+  cert.signatures = CollectVerifiedShares(ctx, cert.SignedPayload(), votes,
+                                          shares, digest, max_signatures);
   return cert;
 }
 

@@ -50,6 +50,16 @@ size_t CountMatchingVotes(const std::map<crypto::NodeId, crypto::Digest>& votes,
 size_t SendEquivocatingVariants(NodeContext* ctx, const sim::MessagePtr& main,
                                 const sim::MessagePtr& alt, sim::Time at);
 
+/// Collects up to `max_signatures` shares that verify over `payload`,
+/// taken from voters whose reported digest matches `digest`. The
+/// verify-before-count rule every quorum object (certificate, commit QC)
+/// is built on lives here.
+crypto::SignatureSet CollectVerifiedShares(
+    NodeContext* ctx, const Bytes& payload,
+    const std::map<crypto::NodeId, crypto::Digest>& votes,
+    const std::map<crypto::NodeId, crypto::Signature>& shares,
+    const crypto::Digest& digest, size_t max_signatures);
+
 /// Assembles the f+1 client-facing certificate from vote shares whose
 /// digest matches `digest`, verifying each share over the certificate
 /// payload. `max_signatures` bounds the set (certificate_size for the

@@ -92,6 +92,12 @@ class Consensus {
   /// the timer fires (in the same view), a view change is initiated.
   virtual void StartViewChangeTimer(BatchId batch_id) = 0;
 
+  /// True while the engine itself occupies the next log position with a
+  /// view-change re-proposal (a batch carried over from the previous
+  /// view for safety). The batch pipeline must not build a competing
+  /// proposal for that id; it resumes once the re-proposal decides.
+  virtual bool HasPendingReproposal() const { return false; }
+
   virtual const Stats& stats() const = 0;
 };
 

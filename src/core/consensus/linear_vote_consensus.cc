@@ -1,7 +1,9 @@
 #include "core/consensus/linear_vote_consensus.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "core/batch_apply.h"
 #include "core/consensus/batch_validation.h"
 
 namespace transedge::core {
@@ -41,9 +43,44 @@ bool LinearVoteConsensus::OnMessage(sim::ActorId from,
     case wire::MessageType::kLinearNewView:
       HandleNewView(from, static_cast<const wire::LinearNewViewMsg&>(msg));
       return true;
+    case wire::MessageType::kLinearCatchUp:
+      HandleCatchUp(from, static_cast<const wire::LinearCatchUpMsg&>(msg));
+      return true;
     default:
       return false;
   }
+}
+
+bool LinearVoteConsensus::IsClusterMember(crypto::NodeId id) const {
+  const auto& members = ctx_->cluster_members();
+  return std::find(members.begin(), members.end(), id) != members.end();
+}
+
+bool LinearVoteConsensus::LockUsable() const {
+  return lock_.valid && lock_.batch.id > ctx_->mutable_log().LastBatchId();
+}
+
+void LinearVoteConsensus::MaybeLockOn(uint64_t view, const Instance& inst) {
+  if (LockUsable() && lock_.view > view) return;
+  lock_.valid = true;
+  lock_.view = view;
+  lock_.batch = inst.batch;
+  lock_.digest = inst.digest;
+  lock_.cert = inst.certificate;
+  lock_.snapshot = inst.validated && ctx_->config().simulate_shared_merkle
+                       ? inst.post_tree.GetSnapshot()
+                       : inst.adopted_snapshot;
+}
+
+bool LinearVoteConsensus::LockBlocksVote(const Instance& inst) const {
+  if (!lock_.valid || lock_.batch.id != inst.batch.id) return false;
+  if (lock_.digest == inst.digest) return false;
+  return !(inst.has_justify && inst.justify_view >= lock_.view);
+}
+
+bool LinearVoteConsensus::HasPendingReproposal() const {
+  return reproposed_id_ != kNoBatch &&
+         reproposed_id_ > ctx_->mutable_log().LastBatchId();
 }
 
 Bytes LinearVoteConsensus::CommitVotePayload(
@@ -71,6 +108,15 @@ Bytes LinearVoteConsensus::ViewChangePayload(uint64_t new_view) const {
 void LinearVoteConsensus::Propose(storage::Batch batch,
                                   merkle::MerkleTree post_tree) {
   const SystemConfig& config = ctx_->config();
+  // Defensive: the pipeline is gated off a slot held by a view-change
+  // re-proposal (NodeContext::ReproposalPending), but a competing batch
+  // must never displace it — the locked batch may already be decided on
+  // another replica. First proposal wins.
+  auto existing = instances_.find(batch.id);
+  if (existing != instances_.end() && existing->second.has_batch &&
+      !(existing->second.digest == batch.ComputeDigest())) {
+    return;
+  }
   auto [it, inserted] = instances_.try_emplace(batch.id, config.merkle_depth);
   Instance& inst = it->second;
   inst.has_batch = true;
@@ -136,6 +182,19 @@ void LinearVoteConsensus::HandlePropose(sim::ActorId from,
   inst.digest = digest;
   inst.adopted_snapshot = msg.post_snapshot;
 
+  // A re-proposal's justification (a prepare QC for this very batch from
+  // an earlier view) unlocks replicas whose lock is older; an invalid
+  // justification is simply ignored and the lock rule stands.
+  if (msg.has_justify && msg.justify_cert.batch_id == id &&
+      msg.justify_cert.batch_digest == digest &&
+      msg.justify_cert
+          .Verify(ctx_->verifier(), ctx_->config().quorum_size(),
+                  ctx_->cluster_members())
+          .ok()) {
+    inst.has_justify = true;
+    inst.justify_view = msg.justify_view;
+  }
+
   StartViewChangeTimer(id);
   AdvanceConsensus();
 }
@@ -145,13 +204,35 @@ void LinearVoteConsensus::HandleVote(sim::ActorId from,
   if (msg.view != view_) return;
   if (!IsLeaderSelf()) return;  // Votes aggregate at the leader only.
   if (msg.batch_id <= ctx_->mutable_log().LastBatchId()) return;
-  auto [it, inserted] =
-      instances_.try_emplace(msg.batch_id, ctx_->config().merkle_depth);
+  // A vote only counts from a cluster member speaking for itself, about
+  // a proposal we actually made: anything else would occupy a vote slot
+  // without ever surviving share verification, letting the quorum count
+  // overshoot the verifiable shares.
+  if (msg.share.signer != from || !IsClusterMember(from)) return;
+  auto it = instances_.find(msg.batch_id);
+  if (it == instances_.end() || !it->second.has_batch) return;
   Instance& inst = it->second;
+  // Verify the share on receipt when it claims our digest, so
+  // CountMatchingVotes only ever counts shares that certificate/QC
+  // assembly will accept. Votes for a different digest cannot be checked
+  // (their payload derives from a batch variant we do not hold); they
+  // are kept as evidence of a split but never reach our quorum count.
   if (msg.phase == wire::kLinearPhasePrepare) {
+    if (msg.batch_digest == inst.digest &&
+        !ctx_->verifier().Verify(
+            CertificatePayloadFor(ctx_->partition(), inst.batch, inst.digest)
+                .SignedPayload(),
+            msg.share)) {
+      return;
+    }
     inst.prepare_votes[from] = msg.batch_digest;
     inst.prepare_shares[from] = msg.share;
   } else {
+    if (msg.batch_digest == inst.digest &&
+        !ctx_->verifier().Verify(CommitVotePayload(msg.batch_id, inst.digest),
+                                 msg.share)) {
+      return;
+    }
     inst.commit_votes[from] = msg.batch_digest;
     inst.commit_shares[from] = msg.share;
   }
@@ -177,8 +258,13 @@ void LinearVoteConsensus::HandleQc(sim::ActorId from,
       return;
     }
   } else {
+    // The commit QC's embedded certificate gets logged and later serves
+    // catch-up, which re-verifies it at quorum_size — so demand the full
+    // 2f+1 here too (the leader always assembles that many); accepting a
+    // thinner-but-valid one would wedge every future catch-up of this
+    // entry.
     if (!msg.cert
-             .Verify(ctx_->verifier(), config.certificate_size(),
+             .Verify(ctx_->verifier(), config.quorum_size(),
                      ctx_->cluster_members())
              .ok() ||
         !msg.commit_sigs
@@ -230,7 +316,11 @@ void LinearVoteConsensus::AdvanceConsensus() {
   const crypto::NodeId leader =
       config.LeaderOf(ctx_->partition(), view_);
 
-  // Replica: prepare vote to the leader.
+  // Replica: prepare vote to the leader — unless a lock on a conflicting
+  // batch at this id forbids it and the proposal carries no adequate
+  // justification. Stay silent: the progress timer carries the lock into
+  // the next view change.
+  if (!inst.sent_prepare_vote && LockBlocksVote(inst)) return;
   if (!inst.sent_prepare_vote) {
     storage::BatchCertificate payload =
         CertificatePayloadFor(ctx_->partition(), inst.batch, inst.digest);
@@ -252,6 +342,10 @@ void LinearVoteConsensus::AdvanceConsensus() {
   // change.
   if (inst.have_prepare_qc && !inst.sent_commit_vote &&
       inst.certificate.batch_digest == inst.digest) {
+    // Lock before voting commit: the lock survives view adoption, and a
+    // commit quorum therefore implies 2f+1 replicas whose view-change
+    // messages will force the next leader to re-propose this batch.
+    MaybeLockOn(view_, inst);
     crypto::Signature share =
         ctx_->Sign(CommitVotePayload(inst.batch.id, inst.digest));
     inst.sent_commit_vote = true;
@@ -290,7 +384,8 @@ void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
     }
     inst.prepare_qc_sent = true;
 
-    // The leader's own commit vote.
+    // The leader's own commit vote, locking like any other commit voter.
+    MaybeLockOn(view_, inst);
     inst.commit_votes[ctx_->id()] = inst.digest;
     inst.commit_shares[ctx_->id()] =
         ctx_->Sign(CommitVotePayload(batch_id, inst.digest));
@@ -306,17 +401,9 @@ void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
 
   if (inst.prepare_qc_sent && !inst.commit_qc_sent &&
       CountMatchingVotes(inst.commit_votes, inst.digest) >= config.quorum_size()) {
-    Bytes payload = CommitVotePayload(batch_id, inst.digest);
-    crypto::SignatureSet commit_sigs;
-    for (const auto& [node, vote_digest] : inst.commit_votes) {
-      if (commit_sigs.size() >= config.quorum_size()) break;
-      if (!(vote_digest == inst.digest)) continue;
-      auto share = inst.commit_shares.find(node);
-      if (share == inst.commit_shares.end()) continue;
-      if (ctx_->verifier().Verify(payload, share->second)) {
-        commit_sigs.Add(share->second);
-      }
-    }
+    crypto::SignatureSet commit_sigs = CollectVerifiedShares(
+        ctx_, CommitVotePayload(batch_id, inst.digest), inst.commit_votes,
+        inst.commit_shares, inst.digest, config.quorum_size());
     if (commit_sigs.size() < config.quorum_size()) return;
     inst.commit_qc_sent = true;
 
@@ -325,7 +412,10 @@ void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
     msg.phase = wire::kLinearPhaseCommit;
     msg.cert = inst.certificate;
     msg.commit_sigs = std::move(commit_sigs);
-    BroadcastCounted(ShareMsg(std::move(msg)), ctx_->busy_until());
+    // Aggregating the commit QC is crypto work like the prepare QC; an
+    // uncharged broadcast would skew the engine-comparison bench.
+    BroadcastCounted(ShareMsg(std::move(msg)),
+                     ctx_->Charge(config.cost.signature_op));
     Decide(batch_id);
   }
 }
@@ -356,11 +446,12 @@ void LinearVoteConsensus::StartViewChangeTimer(BatchId batch_id) {
                    if (ctx_->mutable_log().LastBatchId() >= batch_id) {
                      return;  // Decided in time.
                    }
-                   RequestViewChange(view_ + 1);
+                   RequestViewChange(view_ + 1, batch_id);
                  });
 }
 
-void LinearVoteConsensus::RequestViewChange(uint64_t target) {
+void LinearVoteConsensus::RequestViewChange(uint64_t target,
+                                            BatchId demanded) {
   if (target <= view_) return;
   crypto::Signature sig = ctx_->Sign(ViewChangePayload(target));
   crypto::NodeId prospective =
@@ -373,7 +464,9 @@ void LinearVoteConsensus::RequestViewChange(uint64_t target) {
       wire::LinearNewViewMsg msg;
       msg.new_view = target;
       for (const auto& [node, s] : votes) msg.proof.Add(s);
-      BroadcastCounted(ShareMsg(std::move(msg)), ctx_->busy_until());
+      RecordNewViewProof(target, msg.proof);
+      BroadcastCounted(ShareMsg(std::move(msg)),
+                       ctx_->Charge(ctx_->config().cost.signature_op));
       AdoptView(target);
       return;
     }
@@ -382,30 +475,69 @@ void LinearVoteConsensus::RequestViewChange(uint64_t target) {
     msg.new_view = target;
     msg.last_committed = ctx_->mutable_log().LastBatchId();
     msg.signature = sig;
+    // Report the lock so the prospective leader re-proposes a batch that
+    // may already be decided elsewhere (safety across the view change).
+    if (LockUsable()) {
+      msg.has_lock = true;
+      msg.lock_view = lock_.view;
+      msg.lock_batch = lock_.batch;
+      msg.lock_cert = lock_.cert;
+    }
     SendCounted(prospective, ShareMsg(std::move(msg)),
                 ctx_->Charge(ctx_->config().cost.signature_op));
   }
   // If the prospective leader is faulty too, escalate past it after
-  // another timeout (stop as soon as any view change lands).
+  // another timeout. Stop as soon as any view change lands or the
+  // demanded position decides (e.g. catch-up filled the gap).
   uint64_t view_at_request = view_;
   ctx_->Schedule(ctx_->config().view_change_timeout,
-                 [this, target, view_at_request] {
+                 [this, target, demanded, view_at_request] {
                    if (view_ != view_at_request) return;
-                   RequestViewChange(target + 1);
+                   if (ctx_->mutable_log().LastBatchId() >= demanded) return;
+                   RequestViewChange(target + 1, demanded);
                  });
 }
 
 void LinearVoteConsensus::HandleViewChange(
     sim::ActorId from, const wire::LinearViewChangeMsg& msg) {
   uint64_t target = msg.new_view;
-  if (target <= view_) return;
   if (ctx_->config().LeaderOf(ctx_->partition(), target) != ctx_->id()) {
     return;  // Misrouted; only the prospective leader aggregates.
   }
-  if (!ctx_->verifier().Verify(ViewChangePayload(target), msg.signature) ||
+  if (!IsClusterMember(from) ||
+      !ctx_->verifier().Verify(ViewChangePayload(target), msg.signature) ||
       msg.signature.signer != from) {
-    return;  // Forged request.
+    return;  // Forged request or outsider.
   }
+  // State transfer for a lagging requester — even when its demanded view
+  // is stale: a replica that merely missed decided batches goes quiet
+  // once the log (and our latest new-view proof) reach it, with no view
+  // change at all.
+  ServeCatchUp(from, msg.last_committed);
+  if (target <= view_) return;
+
+  // Adopt a reported lock that supersedes ours. The certificate must be
+  // a genuine prepare QC for the reported batch at the first undecided
+  // position; the re-proposal in AdoptView then carries the highest lock
+  // seen across the 2f+1 view-change messages.
+  if (msg.has_lock && msg.lock_batch.id > ctx_->mutable_log().LastBatchId() &&
+      (!lock_.valid || msg.lock_view >= lock_.view)) {
+    crypto::Digest digest = msg.lock_batch.ComputeDigest();
+    if (msg.lock_cert.batch_id == msg.lock_batch.id &&
+        msg.lock_cert.batch_digest == digest &&
+        msg.lock_cert
+            .Verify(ctx_->verifier(), ctx_->config().quorum_size(),
+                    ctx_->cluster_members())
+            .ok()) {
+      lock_.valid = true;
+      lock_.view = msg.lock_view;
+      lock_.batch = msg.lock_batch;
+      lock_.digest = digest;
+      lock_.cert = msg.lock_cert;
+      lock_.snapshot = merkle::MerkleTree::Snapshot();
+    }
+  }
+
   auto& votes = view_change_votes_[target];
   votes[from] = msg.signature;
   // Join once f+1 distinct replicas demand the change (at least one of
@@ -418,6 +550,7 @@ void LinearVoteConsensus::HandleViewChange(
   wire::LinearNewViewMsg announce;
   announce.new_view = target;
   for (const auto& [node, s] : votes) announce.proof.Add(s);
+  RecordNewViewProof(target, announce.proof);
   BroadcastCounted(ShareMsg(std::move(announce)),
                    ctx_->Charge(ctx_->config().cost.signature_op));
   AdoptView(target);
@@ -431,19 +564,167 @@ void LinearVoteConsensus::HandleNewView(sim::ActorId from,
       ctx_->verifier(), ViewChangePayload(msg.new_view),
       ctx_->config().quorum_size(), ctx_->cluster_members());
   if (!quorum.ok()) return;
+  RecordNewViewProof(msg.new_view, msg.proof);
   AdoptView(msg.new_view);
+}
+
+void LinearVoteConsensus::RecordNewViewProof(
+    uint64_t new_view, const crypto::SignatureSet& proof) {
+  if (new_view <= proven_view_) return;
+  proven_view_ = new_view;
+  view_proof_ = proof;
 }
 
 void LinearVoteConsensus::AdoptView(uint64_t target) {
   if (target <= view_) return;
   view_ = target;
   ++stats_.view_changes;
-  // Undecided proposals from the old view are abandoned; clients will
-  // retry against the new leader.
+  reproposed_id_ = kNoBatch;
+  // Undecided proposals from the old view are abandoned (clients retry
+  // against the new leader), but the prepare-QC lock survives: it is
+  // what lets a batch the old leader may already have decided win again
+  // in this view.
   instances_.clear();
   view_change_votes_.erase(view_change_votes_.begin(),
                            view_change_votes_.upper_bound(target));
   hooks_.on_view_adopted();
+  if (IsLeaderSelf() && LockUsable()) ReproposeLocked();
+}
+
+void LinearVoteConsensus::ReproposeLocked() {
+  const SystemConfig& config = ctx_->config();
+  auto [it, inserted] =
+      instances_.try_emplace(lock_.batch.id, config.merkle_depth);
+  Instance& inst = it->second;
+  inst.has_batch = true;
+  inst.batch = lock_.batch;
+  inst.digest = lock_.digest;
+  inst.adopted_snapshot = lock_.snapshot;
+  Status s = ValidateProposedBatch(ctx_, inst.batch, inst.adopted_snapshot,
+                                   &inst.post_tree);
+  if (!s.ok()) {
+    // Deterministic re-validation of a quorum-certified batch against
+    // the same log prefix cannot fail; treat it like any other invalid
+    // proposal (silence + timer) if it somehow does.
+    inst.validation_failed = true;
+    return;
+  }
+  inst.validated = true;
+
+  // The leader's own certificate share doubles as its prepare vote.
+  storage::BatchCertificate payload =
+      CertificatePayloadFor(ctx_->partition(), inst.batch, inst.digest);
+  inst.prepare_votes[ctx_->id()] = inst.digest;
+  inst.prepare_shares[ctx_->id()] = ctx_->Sign(payload.SignedPayload());
+  inst.sent_prepare_vote = true;
+
+  wire::LinearProposeMsg msg;
+  msg.view = view_;
+  msg.batch = inst.batch;
+  msg.leader_signature = ctx_->Sign(ProposalSignPayload(inst.digest));
+  msg.has_justify = true;
+  msg.justify_view = lock_.view;
+  msg.justify_cert = lock_.cert;
+  if (config.simulate_shared_merkle) {
+    msg.post_snapshot = inst.post_tree.GetSnapshot();
+  }
+  reproposed_id_ = inst.batch.id;
+  BroadcastCounted(ShareMsg(std::move(msg)),
+                   ctx_->Charge(config.cost.signature_op));
+  StartViewChangeTimer(reproposed_id_);
+  AdvanceConsensus();
+}
+
+// ---------------------------------------------------------------------------
+// Catch-up (decided-batch state transfer to lagging replicas)
+// ---------------------------------------------------------------------------
+
+void LinearVoteConsensus::ServeCatchUp(crypto::NodeId to, BatchId peer_last) {
+  const storage::SmrLog& log = ctx_->mutable_log();
+  if (to == ctx_->id() || peer_last >= log.LastBatchId()) return;
+  sim::Time at = ctx_->busy_until();
+  for (BatchId id = peer_last + 1; id <= log.LastBatchId(); ++id) {
+    auto entry = log.Get(id);
+    if (!entry.ok()) return;
+    wire::LinearCatchUpMsg msg;
+    msg.batch = entry.value()->batch;
+    msg.cert = entry.value()->certificate;
+    msg.view = proven_view_;
+    msg.view_proof = view_proof_;
+    SendCounted(to, ShareMsg(std::move(msg)), at);
+  }
+}
+
+bool LinearVoteConsensus::ApplyCatchUpEntry(
+    const storage::Batch& batch, const storage::BatchCertificate& cert) {
+  const SystemConfig& config = ctx_->config();
+  crypto::Digest digest = batch.ComputeDigest();
+  if (cert.batch_id != batch.id || !(cert.batch_digest == digest) ||
+      !cert.Verify(ctx_->verifier(), config.quorum_size(),
+                   ctx_->cluster_members())
+           .ok()) {
+    return false;
+  }
+  // Quorum certification replaces the Definition 3.1 re-checks (and the
+  // freshness window, which old batches legitimately fail by now), but
+  // the Merkle root must still reproduce from our own state.
+  ctx_->Charge(config.cost.signature_op +
+               ctx_->BatchComputeCost(batch.TotalTransactions(),
+                                      config.cost.validate_per_txn));
+  merkle::MerkleTree post_tree = ctx_->mutable_tree().Clone();
+  ApplyBatchWritesToTree(&post_tree, ctx_->partition_map(), ctx_->partition(),
+                         batch, ctx_->prepared_batches());
+  if (post_tree.RootDigest() != batch.ro.merkle_root) return false;
+
+  auto [it, inserted] = instances_.try_emplace(batch.id, config.merkle_depth);
+  Instance& inst = it->second;
+  inst.has_batch = true;
+  inst.batch = batch;
+  inst.digest = digest;
+  inst.certificate = cert;
+  inst.post_tree = std::move(post_tree);
+  inst.validated = true;
+  Decide(batch.id);
+  return true;
+}
+
+void LinearVoteConsensus::HandleCatchUp(sim::ActorId from,
+                                        const wire::LinearCatchUpMsg& msg) {
+  (void)from;  // The certificate, not the sender, carries the authority.
+  // Adopt the sender's view first when its proof checks out, so voting
+  // resumes in the view the cluster actually runs.
+  if (msg.view > view_ &&
+      msg.view_proof
+          .VerifyQuorum(ctx_->verifier(), ViewChangePayload(msg.view),
+                        ctx_->config().quorum_size(), ctx_->cluster_members())
+          .ok()) {
+    RecordNewViewProof(msg.view, msg.view_proof);
+    AdoptView(msg.view);
+  }
+  BatchId next = ctx_->mutable_log().LastBatchId() + 1;
+  if (msg.batch.id > next) {
+    // Jitter reordered the transfer; hold until predecessors arrive.
+    pending_catchup_.emplace(msg.batch.id,
+                             std::make_pair(msg.batch, msg.cert));
+    return;
+  }
+  if (msg.batch.id < next) return;  // Already decided.
+  if (!ApplyCatchUpEntry(msg.batch, msg.cert)) return;
+  for (auto it = pending_catchup_.begin(); it != pending_catchup_.end();) {
+    BatchId want = ctx_->mutable_log().LastBatchId() + 1;
+    if (it->first < want) {
+      it = pending_catchup_.erase(it);
+    } else if (it->first == want &&
+               ApplyCatchUpEntry(it->second.first, it->second.second)) {
+      it = pending_catchup_.erase(it);
+    } else {
+      break;
+    }
+  }
+  // Proposal instances the transfer overtook are settled; drop them.
+  instances_.erase(instances_.begin(),
+                   instances_.upper_bound(ctx_->mutable_log().LastBatchId()));
+  AdvanceConsensus();
 }
 
 }  // namespace transedge::core

@@ -2,6 +2,7 @@
 #define TRANSEDGE_CORE_CONSENSUS_LINEAR_VOTE_CONSENSUS_H_
 
 #include <map>
+#include <utility>
 
 #include "core/consensus/consensus.h"
 #include "wire/message.h"
@@ -30,9 +31,38 @@ namespace transedge::core {
 /// View changes are linear too: a replica whose progress timer fires
 /// sends a signed LinearViewChangeMsg to the *prospective* leader of the
 /// next view; that leader aggregates 2f+1 signatures and broadcasts a
-/// QC-carrying LinearNewViewMsg which every replica adopts on
-/// verification. If the prospective leader is itself faulty, the
-/// initiator escalates to the following view after another timeout.
+/// LinearNewViewMsg carrying the quorum of view-change signatures, which
+/// every replica adopts on verification. If the prospective leader is
+/// itself faulty, the initiator escalates to the following view after
+/// another timeout (and stops once the demanded log position decides).
+///
+/// Safety across view changes (the lock rule): a replica *locks* on the
+/// prepare QC before casting a commit vote, and the lock survives view
+/// adoption. View-change messages report the lock (batch + QC + the
+/// view it formed in); the new leader adopts the highest-view lock among
+/// its 2f+1 view-change messages and re-proposes that batch — with the
+/// QC as justification — before accepting pipeline proposals for the
+/// position. A locked replica refuses to prepare-vote a conflicting
+/// batch at the locked id unless the proposal is justified by a QC from
+/// a view >= its lock view. A commit QC implies 2f+1 locked replicas,
+/// so every view-change quorum overlaps an honest lock report and a
+/// batch that may have been decided anywhere is the only batch a later
+/// view can decide at that position.
+///
+/// Catch-up: a LinearViewChangeMsg whose `last_committed` trails the
+/// recipient's log is answered with LinearCatchUpMsg per missing entry
+/// (decided batch + quorum certificate + the sender's new-view proof),
+/// so a replica that missed commit QCs or whole views rejoins without
+/// forcing a view change.
+///
+/// Trust notes (simulation scope, see ROADMAP): the lock view inside a
+/// view-change report and the implied "decided" status of a catch-up
+/// batch are backed by a genuine quorum certificate but the *view* a QC
+/// formed in is not itself signed — the certificate payload stays
+/// byte-compatible with the client-facing `storage::BatchCertificate`,
+/// which carries no view. Closing that residual hole needs view-bound
+/// QC signatures; the modeled byzantine behaviours (tamper / stale /
+/// equivocate / crash) never forge protocol metadata.
 class LinearVoteConsensus : public Consensus {
  public:
   LinearVoteConsensus(NodeContext* ctx, Hooks hooks);
@@ -42,6 +72,7 @@ class LinearVoteConsensus : public Consensus {
   bool OnMessage(sim::ActorId from, const sim::Message& msg) override;
   void AdvanceConsensus() override;
   void StartViewChangeTimer(BatchId batch_id) override;
+  bool HasPendingReproposal() const override;
   const Stats& stats() const override { return stats_; }
 
  private:
@@ -68,6 +99,10 @@ class LinearVoteConsensus : public Consensus {
     bool sent_prepare_vote = false;
     bool sent_commit_vote = false;
     bool have_prepare_qc = false;
+    /// Verified re-proposal justification (prepare QC for this batch
+    /// from `justify_view`); unlocks conflicting-lock replicas.
+    bool has_justify = false;
+    uint64_t justify_view = 0;
     /// Commit QC received before the batch finished validating; replayed
     /// by AdvanceConsensus.
     bool have_commit_qc = false;
@@ -80,16 +115,54 @@ class LinearVoteConsensus : public Consensus {
     explicit Instance(int merkle_depth) : post_tree(merkle_depth) {}
   };
 
+  /// The prepare-QC lock: set before any commit vote is cast, kept
+  /// across view adoptions (unlike `instances_`), superseded only by a
+  /// higher-view QC. `snapshot` is the shared-merkle shortcut snapshot
+  /// when the locking instance had one (invalid otherwise).
+  struct Lock {
+    bool valid = false;
+    uint64_t view = 0;
+    storage::Batch batch;
+    crypto::Digest digest;
+    storage::BatchCertificate cert;
+    merkle::MerkleTree::Snapshot snapshot;
+  };
+
   void HandlePropose(sim::ActorId from, const wire::LinearProposeMsg& msg);
   void HandleVote(sim::ActorId from, const wire::LinearVoteMsg& msg);
   void HandleQc(sim::ActorId from, const wire::LinearQcMsg& msg);
   void HandleViewChange(sim::ActorId from,
                         const wire::LinearViewChangeMsg& msg);
   void HandleNewView(sim::ActorId from, const wire::LinearNewViewMsg& msg);
+  void HandleCatchUp(sim::ActorId from, const wire::LinearCatchUpMsg& msg);
 
   bool IsLeaderSelf() const {
     return ctx_->config().LeaderOf(ctx_->partition(), view_) == ctx_->id();
   }
+  bool IsClusterMember(crypto::NodeId id) const;
+
+  /// True while the lock names the next undecided log position.
+  bool LockUsable() const;
+  /// Adopts (view, inst) as the lock when it is at least as recent as
+  /// the current one.
+  void MaybeLockOn(uint64_t view, const Instance& inst);
+  /// True when a conflicting lock forbids prepare-voting `inst` and the
+  /// proposal carries no adequate justification.
+  bool LockBlocksVote(const Instance& inst) const;
+  /// New leader: re-proposes the locked batch (with the QC as
+  /// justification) as the first proposal of the adopted view.
+  void ReproposeLocked();
+
+  /// Sends the log entries past `peer_last` (plus our new-view proof) to
+  /// a lagging replica.
+  void ServeCatchUp(crypto::NodeId to, BatchId peer_last);
+  /// Verifies and decides one transferred log entry; returns false when
+  /// the certificate or the replayed Merkle root does not check out.
+  bool ApplyCatchUpEntry(const storage::Batch& batch,
+                         const storage::BatchCertificate& cert);
+  /// Remembers the most recent verified new-view proof for catch-up.
+  void RecordNewViewProof(uint64_t new_view,
+                          const crypto::SignatureSet& proof);
 
   /// Bytes a commit-phase vote signs.
   Bytes CommitVotePayload(BatchId batch_id, const crypto::Digest& digest) const;
@@ -102,7 +175,10 @@ class LinearVoteConsensus : public Consensus {
   /// Hands the decided batch to the node (exactly once, in log order).
   void Decide(BatchId batch_id);
 
-  void RequestViewChange(uint64_t target);
+  /// `demanded` is the log position whose lack of progress triggered the
+  /// request; escalation past a faulty prospective leader stops once the
+  /// log reaches it.
+  void RequestViewChange(uint64_t target, BatchId demanded);
   void AdoptView(uint64_t target);
 
   void SendCounted(crypto::NodeId to, const sim::MessagePtr& msg,
@@ -117,6 +193,17 @@ class LinearVoteConsensus : public Consensus {
   /// Prospective-leader aggregation of view-change signatures.
   std::map<uint64_t, std::map<crypto::NodeId, crypto::Signature>>
       view_change_votes_;
+  Lock lock_;
+  /// Position of an in-flight view-change re-proposal; the pipeline is
+  /// gated off the slot until it decides (NodeContext::ReproposalPending).
+  BatchId reproposed_id_ = kNoBatch;
+  /// Most recent verified new-view proof, piggybacked on catch-up so a
+  /// replica that missed the announcement can adopt the view.
+  uint64_t proven_view_ = 0;
+  crypto::SignatureSet view_proof_;
+  /// Out-of-order catch-up entries awaiting their predecessors.
+  std::map<BatchId, std::pair<storage::Batch, storage::BatchCertificate>>
+      pending_catchup_;
   Stats stats_;
 };
 

@@ -94,6 +94,10 @@ bool TransEdgeNode::IsLeader() const {
   return config_.LeaderOf(partition_, consensus_->view()) == id_;
 }
 
+bool TransEdgeNode::ReproposalPending() const {
+  return consensus_->HasPendingReproposal();
+}
+
 size_t TransEdgeNode::in_progress_size() const {
   return pipeline_->in_progress_size();
 }

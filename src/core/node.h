@@ -85,6 +85,7 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   PartitionId partition() const override { return partition_; }
   uint64_t view() const;
   bool IsLeader() const override;
+  bool ReproposalPending() const override;
   const storage::SmrLog& log() const { return log_; }
   const storage::VersionedStore& store() const { return store_; }
   const merkle::MerkleTree& tree() const { return tree_; }

@@ -54,6 +54,10 @@ class NodeContext {
   virtual const std::vector<crypto::NodeId>& cluster_members() const = 0;
   /// Leader status under the node's current view (owned by consensus).
   virtual bool IsLeader() const = 0;
+  /// True while the consensus engine holds a view-change re-proposal for
+  /// the next log position (Consensus::HasPendingReproposal); the batch
+  /// pipeline must not build a competing batch for that slot.
+  virtual bool ReproposalPending() const { return false; }
   virtual ByzantineBehavior byzantine() const = 0;
 
   // --- Simulated clock & CPU ---------------------------------------------

@@ -150,7 +150,7 @@ void ShardedPipeline::MaybeProposeOnSize() {
     shards_[0]->MaybeProposeOnSize();
     return;
   }
-  if (ctx_->IsLeader() && !proposing_ &&
+  if (ctx_->IsLeader() && !proposing_ && !ctx_->ReproposalPending() &&
       in_progress_size() >= ctx_->config().max_batch_size) {
     ProposeMerged();
   }

@@ -131,7 +131,15 @@ void TwoPcCoordinator::OnViewChange() {
     }
   }
 
-  if (!leader) return;
+  if (!leader) {
+    // Demotion also surrenders the unilateral-abort fan-out duty: the
+    // next leader re-derives the same aborts from the shared prepared-
+    // batches structure, and a stale entry here would duplicate its
+    // CommitRecordMsg fan-out (and double-count dist_aborted) if this
+    // replica ever led again when the abort's record applied.
+    unilateral_aborts_.clear();
+    return;
+  }
   // New-leader side of the handover: undecided prepare groups this
   // partition coordinates but nobody is driving any more (the demoted
   // leader held the coordination state) would strand every participant

@@ -38,6 +38,8 @@ const char* MessageTypeName(MessageType type) {
       return "LinearViewChange";
     case MessageType::kLinearNewView:
       return "LinearNewView";
+    case MessageType::kLinearCatchUp:
+      return "LinearCatchUp";
     case MessageType::kCoordPrepare:
       return "CoordPrepare";
     case MessageType::kPrepared:

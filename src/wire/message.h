@@ -38,6 +38,7 @@ enum class MessageType : uint32_t {
   kLinearQc = 27,
   kLinearViewChange = 28,
   kLinearNewView = 29,
+  kLinearCatchUp = 30,
 
   // Inter-cluster 2PC (leader-to-leader, each step backed by a batch
   // certificate from the sender's cluster).
@@ -205,6 +206,14 @@ struct LinearProposeMsg : TypedMessage<MessageType::kLinearPropose> {
   uint64_t view = 0;
   storage::Batch batch;
   crypto::Signature leader_signature;  // over the batch digest
+  /// View-change re-proposal justification: a prepare QC for this very
+  /// batch, formed in `justify_view`. A replica locked on a conflicting
+  /// batch at the same id accepts the proposal only when
+  /// `justify_view >= ` its lock view (two-phase HotStuff unlock rule);
+  /// fresh proposals carry no justification.
+  bool has_justify = false;
+  uint64_t justify_view = 0;
+  storage::BatchCertificate justify_cert;
   /// Simulation shortcut (SystemConfig::simulate_shared_merkle); see
   /// PrePrepareMsg::post_snapshot. Not serialized.
   merkle::MerkleTree::Snapshot post_snapshot;
@@ -246,6 +255,16 @@ struct LinearViewChangeMsg : TypedMessage<MessageType::kLinearViewChange> {
   uint64_t new_view = 0;
   BatchId last_committed = kNoBatch;
   crypto::Signature signature;
+  /// Lock report: the sender's prepare QC for the first undecided log
+  /// position, if it holds one. The prospective leader must re-propose
+  /// the batch of the highest-view lock among its 2f+1 view-change
+  /// messages — a commit quorum in an earlier view implies 2f+1 locked
+  /// replicas, so every view-change quorum contains at least one honest
+  /// report of that lock and the decided batch survives the view change.
+  bool has_lock = false;
+  uint64_t lock_view = 0;
+  storage::Batch lock_batch;
+  storage::BatchCertificate lock_cert;
 };
 
 /// New leader's QC-carrying announcement: 2f+1 view-change signatures
@@ -254,6 +273,20 @@ struct LinearViewChangeMsg : TypedMessage<MessageType::kLinearViewChange> {
 struct LinearNewViewMsg : TypedMessage<MessageType::kLinearNewView> {
   uint64_t new_view = 0;
   crypto::SignatureSet proof;
+};
+
+/// Decided-batch state transfer to a lagging replica. Sent by the
+/// replica that receives a LinearViewChangeMsg whose `last_committed`
+/// trails its own log: one message per missing log entry, carrying the
+/// batch and the quorum certificate that decided it. `view`/`view_proof`
+/// piggyback the sender's current view and its 2f+1 new-view proof
+/// (empty at view 0) so a replica that also missed view changes can
+/// adopt the current view and resume voting.
+struct LinearCatchUpMsg : TypedMessage<MessageType::kLinearCatchUp> {
+  storage::Batch batch;
+  storage::BatchCertificate cert;
+  uint64_t view = 0;
+  crypto::SignatureSet view_proof;
 };
 
 // ---------------------------------------------------------------------------

@@ -153,6 +153,11 @@ void EncodeBody(const LinearProposeMsg& msg, Encoder* enc) {
   enc->PutU64(msg.view);
   msg.batch.EncodeTo(enc);
   msg.leader_signature.EncodeTo(enc);
+  enc->PutBool(msg.has_justify);
+  if (msg.has_justify) {
+    enc->PutU64(msg.justify_view);
+    msg.justify_cert.EncodeTo(enc);
+  }
   // post_snapshot intentionally not serialized (simulation shortcut).
 }
 
@@ -175,11 +180,24 @@ void EncodeBody(const LinearViewChangeMsg& msg, Encoder* enc) {
   enc->PutU64(msg.new_view);
   enc->PutI64(msg.last_committed);
   msg.signature.EncodeTo(enc);
+  enc->PutBool(msg.has_lock);
+  if (msg.has_lock) {
+    enc->PutU64(msg.lock_view);
+    msg.lock_batch.EncodeTo(enc);
+    msg.lock_cert.EncodeTo(enc);
+  }
 }
 
 void EncodeBody(const LinearNewViewMsg& msg, Encoder* enc) {
   enc->PutU64(msg.new_view);
   msg.proof.EncodeTo(enc);
+}
+
+void EncodeBody(const LinearCatchUpMsg& msg, Encoder* enc) {
+  msg.batch.EncodeTo(enc);
+  msg.cert.EncodeTo(enc);
+  enc->PutU64(msg.view);
+  msg.view_proof.EncodeTo(enc);
 }
 
 void EncodeBody(const CoordPrepareMsg& msg, Encoder* enc) {
@@ -286,6 +304,9 @@ Bytes EncodeMessage(const sim::Message& msg) {
       break;
     case MessageType::kLinearNewView:
       EncodeBody(static_cast<const LinearNewViewMsg&>(msg), &enc);
+      break;
+    case MessageType::kLinearCatchUp:
+      EncodeBody(static_cast<const LinearCatchUpMsg&>(msg), &enc);
       break;
     case MessageType::kCoordPrepare:
       EncodeBody(static_cast<const CoordPrepareMsg&>(msg), &enc);
@@ -435,6 +456,12 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->batch, storage::Batch::DecodeFrom(d));
         TE_ASSIGN_OR_RETURN(m->leader_signature,
                             crypto::Signature::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->has_justify, d->GetBool());
+        if (m->has_justify) {
+          TE_ASSIGN_OR_RETURN(m->justify_view, d->GetU64());
+          TE_ASSIGN_OR_RETURN(m->justify_cert,
+                              storage::BatchCertificate::DecodeFrom(d));
+        }
         return Status::OK();
       });
     case MessageType::kLinearVote:
@@ -461,12 +488,29 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->new_view, d->GetU64());
         TE_ASSIGN_OR_RETURN(m->last_committed, d->GetI64());
         TE_ASSIGN_OR_RETURN(m->signature, crypto::Signature::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->has_lock, d->GetBool());
+        if (m->has_lock) {
+          TE_ASSIGN_OR_RETURN(m->lock_view, d->GetU64());
+          TE_ASSIGN_OR_RETURN(m->lock_batch, storage::Batch::DecodeFrom(d));
+          TE_ASSIGN_OR_RETURN(m->lock_cert,
+                              storage::BatchCertificate::DecodeFrom(d));
+        }
         return Status::OK();
       });
     case MessageType::kLinearNewView:
       return Decode<LinearNewViewMsg>(&dec, [](auto* m, Decoder* d) {
         TE_ASSIGN_OR_RETURN(m->new_view, d->GetU64());
         TE_ASSIGN_OR_RETURN(m->proof, crypto::SignatureSet::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kLinearCatchUp:
+      return Decode<LinearCatchUpMsg>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->batch, storage::Batch::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->cert,
+                            storage::BatchCertificate::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->view, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->view_proof,
+                            crypto::SignatureSet::DecodeFrom(d));
         return Status::OK();
       });
     case MessageType::kCoordPrepare:

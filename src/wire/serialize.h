@@ -42,6 +42,7 @@ void EncodeBody(const LinearVoteMsg& msg, Encoder* enc);
 void EncodeBody(const LinearQcMsg& msg, Encoder* enc);
 void EncodeBody(const LinearViewChangeMsg& msg, Encoder* enc);
 void EncodeBody(const LinearNewViewMsg& msg, Encoder* enc);
+void EncodeBody(const LinearCatchUpMsg& msg, Encoder* enc);
 void EncodeBody(const CoordPrepareMsg& msg, Encoder* enc);
 void EncodeBody(const PreparedMsg& msg, Encoder* enc);
 void EncodeBody(const CommitRecordMsg& msg, Encoder* enc);

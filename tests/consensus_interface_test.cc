@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "core/system.h"
 #include "storage/partition_map.h"
+#include "wire/message.h"
 #include "workload/generator.h"
 
 namespace transedge {
@@ -272,6 +274,126 @@ TEST_F(LinearVoteTest, ViewChangeElectsNewLeaderAfterLeaderCrash) {
     ASSERT_TRUE(v.ok());
     EXPECT_EQ(ToString(v->value), "post-vc");
   }
+}
+
+TEST_F(LinearVoteTest, DelayedCommitQcDoesNotForkTheLog) {
+  // Regression for the view-change safety hole: the view-0 leader
+  // assembles the commit QC and decides locally, but the broadcast never
+  // reaches the replicas before their progress timers fire. Without the
+  // prepare-QC lock carried through the view change, the new leader
+  // would propose a *different* batch at the same id and permanently
+  // fork the old leader's log.
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  System system(config, FastEnv());
+  auto data = TestData(1);
+  system.Preload(data);
+
+  const crypto::NodeId first_leader = config.ReplicaNode(0, 0);
+  system.env().network().SetLinkFilter(
+      [first_leader](sim::ActorId from, sim::ActorId,
+                     const sim::MessagePtr& msg) {
+        if (from != first_leader) return true;
+        if (static_cast<wire::MessageType>(msg->type()) !=
+            wire::MessageType::kLinearQc) {
+          return true;
+        }
+        return static_cast<const wire::LinearQcMsg&>(*msg).phase !=
+               wire::kLinearPhaseCommit;
+      });
+  system.Start();
+
+  Client* client = system.AddClient();
+  std::optional<RwResult> result;
+  system.env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{data[0].first, ToBytes("survive")}},
+                             [&](RwResult r) { result = std::move(r); });
+  });
+  system.env().RunUntil(sim::Seconds(30));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+
+  // The old leader decided batches the others only saw after the view
+  // change; every pair of logs must still agree on their common prefix
+  // (in particular at id 0, which node 0 decided alone in view 0).
+  const uint32_t n = config.replicas_per_cluster();
+  bool view_advanced = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (system.node(0, i)->view() > 0) view_advanced = true;
+    ASSERT_GT(system.node(0, i)->log().size(), 0u) << "replica " << i;
+  }
+  EXPECT_TRUE(view_advanced);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const auto& a = system.node(0, i)->log();
+      const auto& b = system.node(0, j)->log();
+      BatchId common = std::min(a.LastBatchId(), b.LastBatchId());
+      for (BatchId id = 0; id <= common; ++id) {
+        EXPECT_EQ(a.Get(id).value()->batch.ComputeDigest(),
+                  b.Get(id).value()->batch.ComputeDigest())
+            << "fork at batch " << id << " between replicas " << i << " and "
+            << j;
+      }
+    }
+  }
+}
+
+TEST_F(LinearVoteTest, LaggingReplicaCatchesUpWithoutViewChange) {
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  System system(config, FastEnv());
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+  system.env().RunUntil(sim::Millis(50));  // Genesis decided everywhere.
+
+  const crypto::NodeId lagging = config.ReplicaNode(0, 2);
+  system.env().network().Disconnect(lagging);
+
+  Client* client = system.AddClient();
+  int committed = 0;
+  system.env().Schedule(sim::Millis(10), [&] {
+    for (int i = 0; i < 5; ++i) {
+      client->ExecuteReadWrite(
+          {}, {WriteOp{data[static_cast<size_t>(i)].first, ToBytes("gap")}},
+          [&](RwResult r) {
+            if (r.committed) ++committed;
+          });
+    }
+  });
+  system.env().RunUntil(sim::Millis(400));
+  EXPECT_EQ(committed, 5);
+  EXPECT_LT(system.node(0, 2)->log().size(), system.node(0, 0)->log().size());
+
+  system.env().network().Reconnect(lagging);
+  // One more write makes the lagging replica see a proposal beyond its
+  // log; its progress timer then requests a view change whose
+  // last_committed triggers the catch-up transfer instead.
+  system.env().Schedule(sim::Millis(10), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{data[10].first, ToBytes("after")}},
+                             [&](RwResult r) {
+                               if (r.committed) ++committed;
+                             });
+  });
+  system.env().RunUntil(sim::Seconds(2));
+
+  EXPECT_EQ(committed, 6);
+  const auto& reference = system.node(0, 0)->log();
+  const auto& lag_log = system.node(0, 2)->log();
+  ASSERT_EQ(lag_log.size(), reference.size());
+  for (BatchId id = 0; id <= reference.LastBatchId(); ++id) {
+    EXPECT_EQ(lag_log.Get(id).value()->batch.ComputeDigest(),
+              reference.Get(id).value()->batch.ComputeDigest())
+        << "batch " << id;
+  }
+  // The transfer sufficed; nobody had to change views.
+  for (uint32_t i = 0; i < config.replicas_per_cluster(); ++i) {
+    EXPECT_EQ(system.node(0, i)->view(), 0u) << "replica " << i;
+  }
+  auto v = system.node(0, 2)->store().Get(data[10].first);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ToString(v->value), "after");
 }
 
 TEST_F(LinearVoteTest, EquivocatingLeaderCannotCertifyEitherVariant) {

@@ -212,8 +212,21 @@ TEST(WireTest, LinearVoteMessagesRoundTrip) {
   EXPECT_EQ(pr->batch.id, 9);
   ASSERT_EQ(pr->batch.local.size(), 1u);
   EXPECT_EQ(pr->batch.local[0], propose.batch.local[0]);
+  EXPECT_FALSE(pr->has_justify);
   // The simulation-only snapshot never travels.
   EXPECT_FALSE(pr->post_snapshot.valid());
+
+  // A view-change re-proposal carries the justification QC.
+  propose.has_justify = true;
+  propose.justify_view = 2;
+  propose.justify_cert = SampleCert();
+  auto rp = RoundTrip(propose);
+  ASSERT_NE(rp, nullptr);
+  ASSERT_TRUE(rp->has_justify);
+  EXPECT_EQ(rp->justify_view, 2u);
+  EXPECT_EQ(rp->justify_cert.batch_id, propose.justify_cert.batch_id);
+  EXPECT_EQ(rp->justify_cert.signatures.size(),
+            propose.justify_cert.signatures.size());
 
   LinearVoteMsg vote;
   vote.view = 3;
@@ -248,6 +261,23 @@ TEST(WireTest, LinearVoteMessagesRoundTrip) {
   ASSERT_NE(lvc, nullptr);
   EXPECT_EQ(lvc->new_view, 4u);
   EXPECT_EQ(lvc->last_committed, 8);
+  EXPECT_FALSE(lvc->has_lock);
+
+  // A locked replica reports its prepare QC with the view change.
+  vc.has_lock = true;
+  vc.lock_view = 3;
+  vc.lock_batch.partition = 1;
+  vc.lock_batch.id = 9;
+  vc.lock_batch.local = {SampleTxn()};
+  vc.lock_cert = SampleCert();
+  auto locked = RoundTrip(vc);
+  ASSERT_NE(locked, nullptr);
+  ASSERT_TRUE(locked->has_lock);
+  EXPECT_EQ(locked->lock_view, 3u);
+  EXPECT_EQ(locked->lock_batch.id, 9);
+  ASSERT_EQ(locked->lock_batch.local.size(), 1u);
+  EXPECT_EQ(locked->lock_batch.local[0], vc.lock_batch.local[0]);
+  EXPECT_EQ(locked->lock_cert.batch_id, vc.lock_cert.batch_id);
 
   LinearNewViewMsg nv;
   nv.new_view = 4;
@@ -258,6 +288,22 @@ TEST(WireTest, LinearVoteMessagesRoundTrip) {
   ASSERT_NE(n, nullptr);
   EXPECT_EQ(n->new_view, 4u);
   EXPECT_EQ(n->proof.size(), 3u);
+
+  LinearCatchUpMsg cu;
+  cu.batch.partition = 1;
+  cu.batch.id = 7;
+  cu.batch.local = {SampleTxn()};
+  cu.cert = SampleCert();
+  cu.view = 4;
+  cu.view_proof.Add(crypto::Signature{0, D("p0")});
+  auto c = RoundTrip(cu);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->batch.id, 7);
+  ASSERT_EQ(c->batch.local.size(), 1u);
+  EXPECT_EQ(c->batch.local[0], cu.batch.local[0]);
+  EXPECT_EQ(c->cert.batch_id, cu.cert.batch_id);
+  EXPECT_EQ(c->view, 4u);
+  EXPECT_EQ(c->view_proof.size(), 1u);
 }
 
 TEST(WireTest, AugustusMessagesRoundTrip) {
