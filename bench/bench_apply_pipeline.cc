@@ -1,0 +1,156 @@
+// Decided vs. applied throughput across the pipelining knobs: the same
+// local-write workload on one cluster while pipeline_depth, async_apply,
+// apply_shards, and an artificial apply-cost inflation vary. With the
+// storage stack on the decision critical path (sync apply), a 10×
+// apply_per_txn inflation eats straight into decided throughput; with a
+// deep pipeline draining an asynchronous apply queue, consensus keeps
+// deciding at (nearly) the uninflated rate while last_applied trails the
+// log tail — the gap this bench pins, and sharded apply then closes the
+// applied-side gap by paying the slowest leaf-subrange instead of the
+// serial sum.
+
+#include <algorithm>
+#include <functional>
+
+#include "bench_common.h"
+
+using namespace transedge;
+using namespace transedge::bench;
+
+namespace {
+
+struct Case {
+  const char* label;
+  uint32_t pipeline_depth;
+  bool async_apply;
+  uint32_t apply_shards;
+  int apply_cost_x;
+};
+
+struct Point {
+  double write_tps = 0;
+  double decided_per_sec = 0;
+  double applied_per_sec = 0;
+  double max_apply_lag = 0;  // Batches, sampled while the run is hot.
+};
+
+Point RunOne(const Case& c, uint64_t seed, sim::Time measure, bool smoke) {
+  BenchSetup setup = BenchSetup::PaperDefaults(seed);
+  setup.config.consensus_kind = core::ConsensusKind::kLinearVote;
+  setup.config.num_partitions = 1;  // Consensus + apply are intra-cluster.
+  setup.config.f = 2;
+  setup.workload.num_keys = 1000000;  // Paper key count; no preload.
+  setup.config.merkle_depth = 16;
+  setup.config.pipeline_depth = c.pipeline_depth;
+  setup.config.async_apply = c.async_apply;
+  setup.config.apply_shards = c.apply_shards;
+  setup.config.cost.apply_per_txn =
+      setup.config.cost.apply_per_txn * c.apply_cost_x;
+  World world(setup, /*preload=*/false);
+
+  int clients = smoke ? 40 : 100;
+  int concurrency = static_cast<int>(setup.config.max_batch_size / 50);
+  workload::ClosedLoopRunner runner(
+      world.system.get(), clients,
+      [&](Rng* rng) { return world.plans->MakeWriteOnly(3, rng); },
+      workload::RoMode::kTransEdge, seed ^ 0x7e, concurrency);
+
+  const sim::Time t0 = sim::Millis(500);
+  const sim::Time t1 = t0 + measure;
+  runner.Start(t0, t1);
+
+  // Counter snapshots over the measurement window plus a lag probe: the
+  // decided watermark is the leader's log tail, the applied watermark is
+  // last_applied.
+  uint64_t decided_at_t0 = 0, decided_at_t1 = 0;
+  BatchId applied_at_t0 = kNoBatch, applied_at_t1 = kNoBatch;
+  BatchId max_lag = 0;
+  const core::TransEdgeNode* leader = world.system->node(0, 0);
+  sim::Environment& env = world.system->env();
+  env.Schedule(t0 - env.now(), [&] {
+    decided_at_t0 = leader->stats().batches_decided;
+    applied_at_t0 = leader->last_applied();
+  });
+  env.Schedule(t1 - env.now(), [&] {
+    decided_at_t1 = leader->stats().batches_decided;
+    applied_at_t1 = leader->last_applied();
+  });
+  std::function<void()> probe = [&] {
+    BatchId lag = leader->log().LastBatchId() - leader->last_applied();
+    max_lag = std::max(max_lag, lag);
+    if (env.now() < t1) env.Schedule(sim::Millis(5), probe);
+  };
+  env.Schedule(t0 - env.now(), probe);
+
+  runner.RunToCompletion(smoke ? sim::Millis(800) : sim::Millis(1200));
+
+  Point point;
+  point.write_tps = runner.ThroughputTps();
+  const double secs = static_cast<double>(measure) / 1e6;
+  point.decided_per_sec =
+      static_cast<double>(decided_at_t1 - decided_at_t0) / secs;
+  point.applied_per_sec =
+      static_cast<double>(applied_at_t1 - applied_at_t0) / secs;
+  point.max_apply_lag = static_cast<double>(max_lag);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const sim::Time measure = smoke ? sim::Millis(1000) : sim::Millis(1500);
+
+  const Case cases[] = {
+      {"sync_1x", 1, false, 1, 1},
+      {"sync_10x", 1, false, 1, 10},
+      {"async_d4_1x", 4, true, 1, 1},
+      {"async_d4_10x", 4, true, 1, 10},
+      {"async_d4_s4_10x", 4, true, 4, 10},
+  };
+
+  if (smoke) {
+    std::printf("{\"bench\":\"apply_pipeline\",\"smoke\":true,\"points\":[");
+    bool first = true;
+    for (const Case& c : cases) {
+      Point p = RunOne(c, 42, measure, smoke);
+      std::printf(
+          "%s{\"config\":\"%s\",\"pipeline_depth\":%u,"
+          "\"async_apply\":%s,\"apply_shards\":%u,\"apply_cost_x\":%d,"
+          "\"write_tps\":%.0f,\"decided_batches_per_sec\":%.1f,"
+          "\"applied_batches_per_sec\":%.1f,\"max_apply_lag\":%.1f}",
+          first ? "" : ",", c.label, c.pipeline_depth,
+          c.async_apply ? "true" : "false", c.apply_shards, c.apply_cost_x,
+          p.write_tps, p.decided_per_sec, p.applied_per_sec, p.max_apply_lag);
+      first = false;
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
+  PrintHeader("Apply pipeline: decided vs applied throughput");
+  std::printf("%-18s %6s %6s %7s %7s %12s %14s %14s %9s\n", "config", "depth",
+              "async", "shards", "cost×", "write TPS", "decided/s",
+              "applied/s", "max lag");
+  for (const Case& c : cases) {
+    Point p = RunOne(c, 42, measure, smoke);
+    std::printf("%-18s %6u %6s %7u %7d %12.0f %14.1f %14.1f %9.0f\n", c.label,
+                c.pipeline_depth, c.async_apply ? "yes" : "no", c.apply_shards,
+                c.apply_cost_x, p.write_tps, p.decided_per_sec,
+                p.applied_per_sec, p.max_apply_lag);
+  }
+  // Deeper sweep: depth × shards at 10× apply cost.
+  PrintHeader("Depth × shards sweep at 10× apply cost (async)");
+  std::printf("%6s %7s %12s %14s %14s %9s\n", "depth", "shards", "write TPS",
+              "decided/s", "applied/s", "max lag");
+  for (uint32_t depth : {1u, 2u, 4u, 8u}) {
+    for (uint32_t shards : {1u, 4u}) {
+      Case c{"sweep", depth, true, shards, 10};
+      Point p = RunOne(c, 42, measure, smoke);
+      std::printf("%6u %7u %12.0f %14.1f %14.1f %9.0f\n", depth, shards,
+                  p.write_tps, p.decided_per_sec, p.applied_per_sec,
+                  p.max_apply_lag);
+    }
+  }
+  return 0;
+}

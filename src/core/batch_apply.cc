@@ -5,7 +5,7 @@ namespace transedge::core {
 void ApplyBatchWritesToTree(merkle::MerkleTree* tree,
                             const storage::PartitionMap& pmap,
                             PartitionId self, const storage::Batch& batch,
-                            const txn::PreparedBatches& pending) {
+                            const TxnResolver& resolve) {
   for (const Transaction& t : batch.local) {
     for (const WriteOp& w : pmap.WritesFor(t, self)) {
       tree->Put(w.key, w.value, batch.id);
@@ -13,12 +13,21 @@ void ApplyBatchWritesToTree(merkle::MerkleTree* tree,
   }
   for (const storage::CommitRecord& rec : batch.committed) {
     if (!rec.committed) continue;
-    const Transaction* t = pending.FindTxn(rec.txn_id);
+    const Transaction* t = resolve(rec.txn_id);
     if (t == nullptr) continue;
     for (const WriteOp& w : pmap.WritesFor(*t, self)) {
       tree->Put(w.key, w.value, batch.id);
     }
   }
+}
+
+void ApplyBatchWritesToTree(merkle::MerkleTree* tree,
+                            const storage::PartitionMap& pmap,
+                            PartitionId self, const storage::Batch& batch,
+                            const txn::PreparedBatches& pending) {
+  ApplyBatchWritesToTree(
+      tree, pmap, self, batch,
+      [&pending](TxnId id) { return pending.FindTxn(id); });
 }
 
 }  // namespace transedge::core

@@ -1,6 +1,8 @@
 #ifndef TRANSEDGE_CORE_BATCH_APPLY_H_
 #define TRANSEDGE_CORE_BATCH_APPLY_H_
 
+#include <functional>
+
 #include "merkle/merkle_tree.h"
 #include "storage/batch.h"
 #include "storage/partition_map.h"
@@ -8,10 +10,23 @@
 
 namespace transedge::core {
 
+/// Resolves the transaction object behind a commit record's id; nullptr
+/// when unknown (the record's writes are then skipped). The plain
+/// overload below resolves through `PreparedBatches`; pipelined
+/// validation overlays the prepare segments of in-flight predecessor
+/// batches whose groups are not registered yet.
+using TxnResolver = std::function<const Transaction*(TxnId)>;
+
 /// Applies the writes a batch commits (local transactions + committed
 /// distributed transactions) to `tree`, restricted to partition `self`'s
-/// keys. Write sets of commit records are resolved through `pending`.
+/// keys. Write sets of commit records are resolved through `resolve`.
 /// Shared by the leader's proposal path and replica re-validation.
+void ApplyBatchWritesToTree(merkle::MerkleTree* tree,
+                            const storage::PartitionMap& pmap,
+                            PartitionId self, const storage::Batch& batch,
+                            const TxnResolver& resolve);
+
+/// Convenience overload resolving commit records through `pending`.
 void ApplyBatchWritesToTree(merkle::MerkleTree* tree,
                             const storage::PartitionMap& pmap,
                             PartitionId self, const storage::Batch& batch,

@@ -1,11 +1,43 @@
 #include "core/batch_pipeline.h"
 
+#include <algorithm>
+#include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "core/batch_apply.h"
 #include "core/cd_vector.h"
 
 namespace transedge::core {
+
+namespace {
+
+/// Prepare-group ids already committed by an in-flight (decided-pending or
+/// proposed-undecided) predecessor batch. Groups in this set are spoken
+/// for: a new proposal must not commit them again, and their readiness
+/// must not trigger a new (otherwise empty) batch.
+std::set<BatchId> WindowCommittedGroups(const ProposalChain& chain) {
+  std::set<BatchId> committed;
+  for (const storage::Batch* p : chain.pending) {
+    for (const storage::CommitRecord& rec : p->committed) {
+      committed.insert(rec.prepared_in_batch);
+    }
+  }
+  return committed;
+}
+
+/// True when some ready prepare group is not yet committed by an in-flight
+/// batch — i.e. a new proposal would carry at least one commit record.
+bool HasUncommittedReadyGroup(NodeContext* ctx, const ProposalChain& chain) {
+  std::set<BatchId> window_committed = WindowCommittedGroups(chain);
+  for (const txn::PrepareGroup* group :
+       ctx->prepared_batches().ReadyPrefix()) {
+    if (window_committed.count(group->prepared_in_batch) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 BatchPipeline::BatchPipeline(NodeContext* ctx, Hooks hooks)
     : ctx_(ctx), hooks_(std::move(hooks)) {}
@@ -21,12 +53,27 @@ void StartBatchTimerLoop(NodeContext* ctx, std::function<void()> try_propose) {
 }
 
 bool ShouldProposeNow(NodeContext* ctx, bool proposing, size_t in_progress) {
-  if (!ctx->IsLeader() || proposing || ctx->ReproposalPending()) return false;
+  if (!ctx->IsLeader() || ctx->ReproposalPending()) return false;
+  const bool decoupled = ctx->DecoupledApply();
+  if (decoupled) {
+    // Pipelined gate: up to EffectivePipelineDepth consensus instances may
+    // run concurrently. `proposing_` (cleared only when a batch *applies*)
+    // would re-serialize proposals on the storage stack.
+    if (ctx->ConsensusInFlight() >= ctx->EffectivePipelineDepth()) {
+      return false;
+    }
+  } else if (proposing) {
+    return false;
+  }
   if (ctx->mutable_log().empty()) {
-    return true;  // Genesis batch, certifies preload state.
+    // Genesis batch, certifies preload state — once; with decoupled
+    // proposals the genesis instance may already be in flight.
+    return !decoupled || ctx->ConsensusInFlight() == 0;
   }
   if (in_progress > 0) return true;
-  if (ctx->prepared_batches().OldestReady()) return true;
+  // A ready prepare group justifies a batch only if no in-flight
+  // predecessor already committed it (else the batch would be empty).
+  if (HasUncommittedReadyGroup(ctx, ctx->proposal_chain())) return true;
   return false;
 }
 
@@ -52,7 +99,11 @@ void BatchPipeline::MaybeProposeOnSize() {
     hooks_.propose_on_size();
     return;
   }
-  if (ctx_->IsLeader() && !proposing_ && !ctx_->ReproposalPending() &&
+  bool slot_free =
+      ctx_->DecoupledApply()
+          ? ctx_->ConsensusInFlight() < ctx_->EffectivePipelineDepth()
+          : !proposing_;
+  if (ctx_->IsLeader() && slot_free && !ctx_->ReproposalPending() &&
       in_progress_size() >= ctx_->config().max_batch_size) {
     ProposeBatch();
   }
@@ -65,7 +116,7 @@ void BatchPipeline::MaybeProposeOnSize() {
 Status BatchPipeline::AdmitCheck(const Transaction& txn) {
   // Rule 1 of Definition 3.1 applies to the keys this partition owns.
   Transaction restricted = ctx_->RestrictToPartition(txn);
-  TE_RETURN_IF_ERROR(ctx_->validator().CheckAgainstStore(restricted));
+  TE_RETURN_IF_ERROR(ctx_->CheckReadVersions(restricted));
   // Rules 2 and 3 use the full footprint: a conflict on a remote key is a
   // conflict the remote partition would reject anyway; catching it here
   // aborts earlier and keeps prepare groups conflict-free.
@@ -161,21 +212,33 @@ storage::Batch BuildBatchFromSegments(NodeContext* ctx,
                                       std::vector<Transaction> local,
                                       std::vector<Transaction> prepared) {
   const storage::SmrLog& log = ctx->mutable_log();
+  ProposalChain chain = ctx->proposal_chain();
   storage::Batch batch;
   batch.partition = ctx->partition();
-  batch.id = log.LastBatchId() + 1;
+  batch.id = chain.next_id;
   batch.local = std::move(local);
   batch.prepared = std::move(prepared);
 
   // Committed segment: the ready prefix of prepare groups, in prepare
-  // order (Definition 4.1).
-  BatchId lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
-  CdVector cd = log.empty() ? CdVector(ctx->config().num_partitions)
-                            : log.back().batch.ro.cd_vector;
+  // order (Definition 4.1). With predecessors in flight the LCE/CD chain
+  // continues from the newest pending batch, and groups it already
+  // committed are excluded.
+  BatchId lce;
+  CdVector cd;
+  if (!chain.pending.empty()) {
+    lce = chain.pending.back()->ro.lce;
+    cd = chain.pending.back()->ro.cd_vector;
+  } else {
+    lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
+    cd = log.empty() ? CdVector(ctx->config().num_partitions)
+                     : log.back().batch.ro.cd_vector;
+  }
   if (cd.empty()) cd = CdVector(ctx->config().num_partitions);
 
+  std::set<BatchId> window_committed = WindowCommittedGroups(chain);
   for (const txn::PrepareGroup* group :
        ctx->prepared_batches().ReadyPrefix()) {
+    if (window_committed.count(group->prepared_in_batch) > 0) continue;
     for (const txn::PendingTxn& pending : group->txns) {
       storage::CommitRecord rec;
       rec.txn_id = pending.txn.id;
@@ -209,8 +272,12 @@ void SealAndProposeBatch(
     const std::function<void(storage::Batch, merkle::MerkleTree)>& propose) {
   ctx->Charge(compute_cost + ctx->config().cost.signature_op);
 
-  // Compute the post-state Merkle root on a structural-sharing clone.
-  merkle::MerkleTree post_tree = ctx->mutable_tree().Clone();
+  // Compute the post-state Merkle root on a structural-sharing clone of
+  // the chain head: the newest in-flight post-state when pipelining, the
+  // decided tree otherwise (identical to the applied tree under
+  // synchronous apply).
+  ProposalChain chain = ctx->proposal_chain();
+  merkle::MerkleTree post_tree = chain.head_tree->Clone();
   ApplyBatchWritesToTree(&post_tree, ctx->partition_map(), ctx->partition(),
                          batch, ctx->prepared_batches());
   batch.ro.merkle_root = post_tree.RootDigest();
@@ -276,7 +343,18 @@ void BatchPipeline::OnBatchApplied(const storage::Batch& logged) {
   for (const storage::CommitRecord& rec : logged.committed) {
     seen_txns_.erase(rec.txn_id);
   }
-  proposed_inflight_.clear();
+  // Release only the applied batch's ids from the proposed-in-flight set:
+  // with pipelined proposals, later batches are still undecided and their
+  // ids must survive a view change (OnViewChange un-dedups them).
+  if (!proposed_inflight_.empty()) {
+    std::unordered_set<TxnId> applied_ids;
+    for (const Transaction& t : logged.local) applied_ids.insert(t.id);
+    for (const Transaction& t : logged.prepared) applied_ids.insert(t.id);
+    proposed_inflight_.erase(
+        std::remove_if(proposed_inflight_.begin(), proposed_inflight_.end(),
+                       [&](TxnId id) { return applied_ids.count(id) > 0; }),
+        proposed_inflight_.end());
+  }
   proposing_ = false;
 
   // Local transactions are now committed — answer clients.

@@ -42,6 +42,12 @@ struct CostModel {
 
   /// One signature creation or verification.
   sim::Time signature_op = sim::Micros(25);
+
+  /// Recombining one apply shard's Merkle subtree root into the batch
+  /// root (only charged when SystemConfig::apply_shards > 1): the merge
+  /// of independently applied leaf-index subranges is a per-shard hash
+  /// up the shared spine.
+  sim::Time apply_shard_recombine = sim::Micros(15);
 };
 
 /// Which intra-cluster consensus engine certifies batches. Every engine
@@ -96,6 +102,29 @@ struct SystemConfig {
   /// keeps the PBFT-style engine byte-for-byte identical to the
   /// pre-interface behavior.
   ConsensusKind consensus_kind = ConsensusKind::kPbft;
+
+  /// Maximum consensus instances in flight at once (chained pipelining):
+  /// with depth k the leader may propose batch n+k-1 while batch n's
+  /// commit QC is still collecting. 1 (default) keeps the strictly
+  /// sequential decide-then-propose behavior byte-for-byte identical to
+  /// the pre-pipelining code. Engines cap this at their own
+  /// Consensus::MaxPipelineDepth (the PBFT engine pins 1).
+  uint32_t pipeline_depth = 1;
+
+  /// Decouple *applying* a decided batch (store writes, Merkle snapshot
+  /// publication, client fan-out) from *deciding* it: decided batches
+  /// land in an ordered apply queue drained by a separate sim-scheduled
+  /// apply worker, so consensus advances on the decided watermark while
+  /// the storage stack catches up. false (default) applies synchronously
+  /// inside the decision, byte-for-byte identical to the pre-queue code.
+  bool async_apply = false;
+
+  /// Number of leaf-index subranges the apply work is carved into
+  /// (ShardRouterKind::kRange carving). Each shard applies its subtree
+  /// independently; the simulated cost charges the *slowest* shard plus
+  /// a per-shard recombine term instead of the serial sum. 1 (default)
+  /// charges the exact pre-sharding serial cost.
+  uint32_t apply_shards = 1;
 
   /// Tolerated byzantine failures per cluster (paper default: 2, i.e.
   /// 7 replicas per cluster).

@@ -1,5 +1,6 @@
 #include "core/consensus/batch_validation.h"
 
+#include <set>
 #include <vector>
 
 #include "core/batch_apply.h"
@@ -31,14 +32,20 @@ storage::BatchCertificate CertificatePayloadFor(PartitionId partition,
 Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
                              const merkle::MerkleTree::Snapshot&
                                  adopted_snapshot,
-                             merkle::MerkleTree* post_tree) {
+                             merkle::MerkleTree* post_tree,
+                             const ProposalChain* chain) {
   const SystemConfig& config = ctx->config();
   storage::SmrLog& log = ctx->mutable_log();
   txn::PreparedBatches& prepared = ctx->prepared_batches();
+  static const std::vector<const storage::Batch*> kNoPending;
+  const std::vector<const storage::Batch*>& pending =
+      chain != nullptr ? chain->pending : kNoPending;
   if (batch.partition != ctx->partition()) {
     return Status::InvalidArgument("batch for wrong partition");
   }
-  if (batch.id != log.LastBatchId() + 1) {
+  BatchId expected_id =
+      chain != nullptr ? chain->next_id : log.LastBatchId() + 1;
+  if (batch.id != expected_id) {
     return Status::FailedPrecondition("batch id not next in log");
   }
 
@@ -65,11 +72,17 @@ Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
                                       config.cost.validate_per_txn));
   }
 
-  // Re-run Definition 3.1 on every transaction the leader admitted.
+  // Re-run Definition 3.1 on every transaction the leader admitted. With
+  // predecessors in flight, their admitted transactions count as part of
+  // the batch window: the new batch must not conflict with them either.
   FootprintIndex batch_index;
+  for (const storage::Batch* p : pending) {
+    for (const Transaction& t : p->local) batch_index.Add(t);
+    for (const Transaction& t : p->prepared) batch_index.Add(t);
+  }
   auto check = [&](const Transaction& t) -> Status {
     Transaction restricted = ctx->RestrictToPartition(t);
-    TE_RETURN_IF_ERROR(ctx->validator().CheckAgainstStore(restricted));
+    TE_RETURN_IF_ERROR(ctx->CheckReadVersions(restricted));
     if (batch_index.ConflictsWith(t)) {
       return Status::Conflict("conflict inside proposed batch");
     }
@@ -83,14 +96,30 @@ Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
   for (const Transaction& t : batch.prepared) TE_RETURN_IF_ERROR(check(t));
 
   // The committed segment must be exactly a ready prefix of our prepare
-  // groups, in Definition 4.1 order.
+  // groups, in Definition 4.1 order. Groups already committed by an
+  // in-flight predecessor are excluded from the effective queue.
+  auto find_txn = [&](TxnId id) -> const Transaction* {
+    if (const Transaction* t = prepared.FindTxn(id)) return t;
+    for (const storage::Batch* p : pending) {
+      for (const Transaction& t : p->prepared) {
+        if (t.id == id) return &t;
+      }
+    }
+    return nullptr;
+  };
   {
+    std::set<BatchId> window_committed;
+    for (const storage::Batch* p : pending) {
+      for (const storage::CommitRecord& rec : p->committed) {
+        window_committed.insert(rec.prepared_in_batch);
+      }
+    }
     std::vector<BatchId> group_ids;
     for (const storage::CommitRecord& rec : batch.committed) {
       if (group_ids.empty() || group_ids.back() != rec.prepared_in_batch) {
         group_ids.push_back(rec.prepared_in_batch);
       }
-      if (prepared.FindTxn(rec.txn_id) == nullptr) {
+      if (find_txn(rec.txn_id) == nullptr) {
         return Status::VerificationFailed(
             "commit record references unknown transaction");
       }
@@ -102,8 +131,34 @@ Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
       }
     }
     if (!group_ids.empty()) {
-      const txn::PrepareGroup* oldest = prepared.Oldest();
-      if (oldest == nullptr || oldest->prepared_in_batch != group_ids.front()) {
+      for (BatchId gid : group_ids) {
+        if (window_committed.count(gid) > 0) {
+          return Status::VerificationFailed(
+              "prepare group already committed by an in-flight batch");
+        }
+      }
+      // The effective queue: registered groups not committed in flight,
+      // followed by groups prepared by in-flight batches (those cannot
+      // be ready yet — 2PC outcomes need the prepare applied — so their
+      // presence here only anchors the order check).
+      BatchId effective_head = kNoBatch;
+      bool have_head = false;
+      for (BatchId gid : prepared.GroupIds()) {
+        if (window_committed.count(gid) > 0) continue;
+        effective_head = gid;
+        have_head = true;
+        break;
+      }
+      if (!have_head) {
+        for (const storage::Batch* p : pending) {
+          if (p->prepared.empty()) continue;
+          if (window_committed.count(p->id) > 0) continue;
+          effective_head = p->id;
+          have_head = true;
+          break;
+        }
+      }
+      if (!have_head || effective_head != group_ids.front()) {
         return Status::VerificationFailed(
             "committed segment does not start at the oldest prepare group");
       }
@@ -111,8 +166,13 @@ Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
   }
 
   // LCE: must be the prepare-batch id of the last committed group, or
-  // carried forward.
-  BatchId expected_lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
+  // carried forward (from the last in-flight predecessor when chaining).
+  BatchId expected_lce;
+  if (!pending.empty()) {
+    expected_lce = pending.back()->ro.lce;
+  } else {
+    expected_lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
+  }
   if (!batch.committed.empty()) {
     expected_lce = batch.committed.back().prepared_in_batch;
   }
@@ -121,8 +181,13 @@ Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
   }
 
   // CD vector: re-run Algorithm 1 and compare.
-  CdVector cd = log.empty() ? CdVector(config.num_partitions)
-                            : log.back().batch.ro.cd_vector;
+  CdVector cd;
+  if (!pending.empty()) {
+    cd = pending.back()->ro.cd_vector;
+  } else {
+    cd = log.empty() ? CdVector(config.num_partitions)
+                     : log.back().batch.ro.cd_vector;
+  }
   if (cd.empty()) cd = CdVector(config.num_partitions);
   for (const storage::CommitRecord& rec : batch.committed) {
     if (!rec.committed) continue;
@@ -145,9 +210,13 @@ Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
     }
     *post_tree = merkle::MerkleTree::FromSnapshot(adopted_snapshot);
   } else {
-    *post_tree = ctx->mutable_tree().Clone();
+    const merkle::MerkleTree& base =
+        (chain != nullptr && chain->head_tree != nullptr)
+            ? *chain->head_tree
+            : ctx->decided_tree();
+    *post_tree = base.Clone();
     ApplyBatchWritesToTree(post_tree, ctx->partition_map(), ctx->partition(),
-                           batch, prepared);
+                           batch, find_txn);
     if (post_tree->RootDigest() != batch.ro.merkle_root) {
       return Status::VerificationFailed("merkle root mismatch");
     }

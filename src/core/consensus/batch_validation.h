@@ -32,10 +32,18 @@ storage::BatchCertificate CertificatePayloadFor(PartitionId partition,
 /// with the batch's post-state tree. `adopted_snapshot` is the leader's
 /// shared tree under `SystemConfig::simulate_shared_merkle` (invalid
 /// otherwise).
+///
+/// `chain` carries pipelining context when the batch extends
+/// proposed-but-undecided predecessors: the expected id, the in-flight
+/// batches (whose admitted footprints, committed groups, LCE, and CD
+/// vector the new batch must chain on), and the Merkle tree positioned
+/// after the last of them. nullptr validates against the decided state
+/// directly — the depth-1 behavior.
 Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
                              const merkle::MerkleTree::Snapshot&
                                  adopted_snapshot,
-                             merkle::MerkleTree* post_tree);
+                             merkle::MerkleTree* post_tree,
+                             const ProposalChain* chain = nullptr);
 
 /// Number of collected votes matching `digest`. Votes carry the digest
 /// the voter saw, so an equivocating leader's variants split the count.

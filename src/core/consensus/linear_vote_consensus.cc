@@ -1,6 +1,7 @@
 #include "core/consensus/linear_vote_consensus.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/batch_apply.h"
@@ -56,26 +57,30 @@ bool LinearVoteConsensus::IsClusterMember(crypto::NodeId id) const {
   return std::find(members.begin(), members.end(), id) != members.end();
 }
 
-bool LinearVoteConsensus::LockUsable() const {
-  return lock_.valid && lock_.batch.id > ctx_->mutable_log().LastBatchId();
+void LinearVoteConsensus::PruneStaleLocks() {
+  locks_.erase(locks_.begin(),
+               locks_.upper_bound(ctx_->mutable_log().LastBatchId()));
 }
 
 void LinearVoteConsensus::MaybeLockOn(uint64_t view, const Instance& inst) {
-  if (LockUsable() && lock_.view > view) return;
-  lock_.valid = true;
-  lock_.view = view;
-  lock_.batch = inst.batch;
-  lock_.digest = inst.digest;
-  lock_.cert = inst.certificate;
-  lock_.snapshot = inst.validated && ctx_->config().simulate_shared_merkle
-                       ? inst.post_tree.GetSnapshot()
-                       : inst.adopted_snapshot;
+  Lock& lock = locks_[inst.batch.id];
+  if (lock.valid && lock.view > view) return;
+  lock.valid = true;
+  lock.view = view;
+  lock.batch = inst.batch;
+  lock.digest = inst.digest;
+  lock.cert = inst.certificate;
+  lock.view_sigs = inst.qc_view_sigs;
+  lock.snapshot = inst.validated && ctx_->config().simulate_shared_merkle
+                      ? inst.post_tree.GetSnapshot()
+                      : inst.adopted_snapshot;
 }
 
 bool LinearVoteConsensus::LockBlocksVote(const Instance& inst) const {
-  if (!lock_.valid || lock_.batch.id != inst.batch.id) return false;
-  if (lock_.digest == inst.digest) return false;
-  return !(inst.has_justify && inst.justify_view >= lock_.view);
+  auto it = locks_.find(inst.batch.id);
+  if (it == locks_.end() || !it->second.valid) return false;
+  if (it->second.digest == inst.digest) return false;
+  return !(inst.has_justify && inst.justify_view >= it->second.view);
 }
 
 bool LinearVoteConsensus::HasPendingReproposal() const {
@@ -93,6 +98,18 @@ Bytes LinearVoteConsensus::CommitVotePayload(
   return enc.Take();
 }
 
+Bytes LinearVoteConsensus::ViewBindPayload(BatchId batch_id,
+                                           const crypto::Digest& digest,
+                                           uint64_t view) const {
+  Encoder enc;
+  enc.PutString("transedge-linear-qc-view");
+  enc.PutU32(ctx_->partition());
+  enc.PutI64(batch_id);
+  enc.PutRaw(digest.bytes.data(), digest.bytes.size());
+  enc.PutU64(view);
+  return enc.Take();
+}
+
 Bytes LinearVoteConsensus::ViewChangePayload(uint64_t new_view) const {
   Encoder enc;
   enc.PutString("transedge-linear-view-change");
@@ -102,12 +119,74 @@ Bytes LinearVoteConsensus::ViewChangePayload(uint64_t new_view) const {
 }
 
 // ---------------------------------------------------------------------------
+// Pipelining introspection (NodeContext window)
+// ---------------------------------------------------------------------------
+
+size_t LinearVoteConsensus::InFlight() const {
+  BatchId tail = ctx_->mutable_log().LastBatchId();
+  size_t n = 0;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.has_batch && !inst.decided && id > tail) ++n;
+  }
+  return n;
+}
+
+uint32_t LinearVoteConsensus::MaxPipelineDepth() const {
+  // The chained-instance machinery has no inherent window bound; the
+  // node clamps to SystemConfig::pipeline_depth.
+  return std::numeric_limits<uint32_t>::max();
+}
+
+ProposalChain LinearVoteConsensus::ChainUpTo(BatchId id) {
+  ProposalChain chain;
+  chain.next_id = id;
+  for (BatchId p = ctx_->mutable_log().LastBatchId() + 1; p < id; ++p) {
+    auto it = instances_.find(p);
+    if (it == instances_.end() || !it->second.has_batch ||
+        !it->second.validated) {
+      // Broken chain below `id`; callers only ask about slots whose
+      // predecessors are all live and validated.
+      chain.pending.clear();
+      chain.head_tree = nullptr;
+      return chain;
+    }
+    chain.pending.push_back(&it->second.batch);
+    chain.head_tree = &it->second.post_tree;
+  }
+  return chain;
+}
+
+ProposalChain LinearVoteConsensus::Chain() {
+  BatchId id = ctx_->mutable_log().LastBatchId() + 1;
+  while (true) {
+    auto it = instances_.find(id);
+    if (it == instances_.end() || !it->second.has_batch ||
+        !it->second.validated) {
+      break;
+    }
+    ++id;
+  }
+  return ChainUpTo(id);
+}
+
+// ---------------------------------------------------------------------------
 // Proposal and voting
 // ---------------------------------------------------------------------------
 
 void LinearVoteConsensus::Propose(storage::Batch batch,
                                   merkle::MerkleTree post_tree) {
   const SystemConfig& config = ctx_->config();
+  // A slot we hold a conflicting lock on belongs to the locked batch —
+  // it may already be decided on another replica. Re-propose it instead
+  // of the fresh batch (covers locks adopted past a gap, which AdoptView
+  // could not re-propose when the gap was still open).
+  PruneStaleLocks();
+  auto lk = locks_.find(batch.id);
+  if (lk != locks_.end() && lk->second.valid &&
+      !(lk->second.digest == batch.ComputeDigest())) {
+    ReproposeLocked();
+    return;
+  }
   // Defensive: the pipeline is gated off a slot held by a view-change
   // re-proposal (NodeContext::ReproposalPending), but a competing batch
   // must never displace it — the locked batch may already be decided on
@@ -125,12 +204,16 @@ void LinearVoteConsensus::Propose(storage::Batch batch,
   inst.batch = batch;
   inst.validated = true;
 
-  // The leader's own certificate share doubles as its prepare vote.
+  // The leader's own certificate share doubles as its prepare vote; the
+  // view-bind share rides along (one batched signing pass, no extra
+  // signature_op charged).
   storage::BatchCertificate payload =
       CertificatePayloadFor(ctx_->partition(), batch, inst.digest);
   crypto::Signature share = ctx_->Sign(payload.SignedPayload());
   inst.prepare_votes[ctx_->id()] = inst.digest;
   inst.prepare_shares[ctx_->id()] = share;
+  inst.view_shares[ctx_->id()] =
+      ctx_->Sign(ViewBindPayload(batch.id, inst.digest, view_));
   inst.sent_prepare_vote = true;
 
   wire::LinearProposeMsg msg;
@@ -184,12 +267,19 @@ void LinearVoteConsensus::HandlePropose(sim::ActorId from,
 
   // A re-proposal's justification (a prepare QC for this very batch from
   // an earlier view) unlocks replicas whose lock is older; an invalid
-  // justification is simply ignored and the lock rule stands.
+  // justification is simply ignored and the lock rule stands. The
+  // claimed `justify_view` must be certified by the QC's view-bind
+  // quorum — a leader cannot inflate it to defeat a newer honest lock.
   if (msg.has_justify && msg.justify_cert.batch_id == id &&
       msg.justify_cert.batch_digest == digest &&
       msg.justify_cert
           .Verify(ctx_->verifier(), ctx_->config().quorum_size(),
                   ctx_->cluster_members())
+          .ok() &&
+      msg.justify_view_sigs
+          .VerifyQuorum(ctx_->verifier(),
+                        ViewBindPayload(id, digest, msg.justify_view),
+                        ctx_->config().quorum_size(), ctx_->cluster_members())
           .ok()) {
     inst.has_justify = true;
     inst.justify_view = msg.justify_view;
@@ -227,6 +317,9 @@ void LinearVoteConsensus::HandleVote(sim::ActorId from,
     }
     inst.prepare_votes[from] = msg.batch_digest;
     inst.prepare_shares[from] = msg.share;
+    // The view-bind share is verified at QC assembly (CollectVerified-
+    // Shares); a bad one just keeps the voter out of the view quorum.
+    inst.view_shares[from] = msg.view_share;
   } else {
     if (msg.batch_digest == inst.digest &&
         !ctx_->verifier().Verify(CommitVotePayload(msg.batch_id, inst.digest),
@@ -251,9 +344,16 @@ void LinearVoteConsensus::HandleQc(sim::ActorId from,
   // gather a quorum, so a verified QC is the decision of its phase.
   const SystemConfig& config = ctx_->config();
   if (msg.phase == wire::kLinearPhasePrepare) {
+    // Certificate quorum AND view-bind quorum: a prepare QC whose view
+    // claim is not certified never locks anyone.
     if (!msg.cert
              .Verify(ctx_->verifier(), config.quorum_size(),
                      ctx_->cluster_members())
+             .ok() ||
+        !msg.view_sigs
+             .VerifyQuorum(ctx_->verifier(),
+                           ViewBindPayload(id, msg.cert.batch_digest, msg.view),
+                           config.quorum_size(), ctx_->cluster_members())
              .ok()) {
       return;
     }
@@ -280,6 +380,7 @@ void LinearVoteConsensus::HandleQc(sim::ActorId from,
   if (msg.phase == wire::kLinearPhasePrepare) {
     inst.have_prepare_qc = true;
     inst.certificate = msg.cert;
+    inst.qc_view_sigs = msg.view_sigs;
   } else {
     inst.have_commit_qc = true;
     inst.certificate = msg.cert;
@@ -293,34 +394,64 @@ void LinearVoteConsensus::HandleQc(sim::ActorId from,
 // ---------------------------------------------------------------------------
 
 void LinearVoteConsensus::AdvanceConsensus() {
+  // A usable lock at the first slot past the live instance chain (from
+  // an adopted view-change report, possibly landed after a gap filled)
+  // is re-proposed before fresh pipeline proposals claim the slot.
+  if (IsLeaderSelf()) {
+    PruneStaleLocks();
+    BatchId free_slot = ctx_->mutable_log().LastBatchId() + 1;
+    while (true) {
+      auto it = instances_.find(free_slot);
+      if (it == instances_.end() || !it->second.has_batch) break;
+      ++free_slot;
+    }
+    auto lk = locks_.find(free_slot);
+    if (lk != locks_.end() && lk->second.valid) {
+      ReproposeLocked();  // Creates the instance; re-enters this function.
+      return;
+    }
+  }
+
+  // Walk the in-flight window in log order. Each slot validates against
+  // the chain of validated predecessors; only the head slot (the log
+  // tail + 1) may decide. Deciding re-enters this function through the
+  // on_decided hook, so the walk stops right after a decide — the nested
+  // call already finished the rest of the window.
+  BatchId tail = ctx_->mutable_log().LastBatchId();
+  for (BatchId id = tail + 1;; ++id) {
+    auto it = instances_.find(id);
+    if (it == instances_.end() || !it->second.has_batch) return;
+    if (!AdvanceSlot(id, it->second)) return;
+  }
+}
+
+bool LinearVoteConsensus::AdvanceSlot(BatchId id, Instance& inst) {
   const SystemConfig& config = ctx_->config();
-  BatchId next = ctx_->mutable_log().LastBatchId() + 1;
-  auto it = instances_.find(next);
-  if (it == instances_.end()) return;
-  Instance& inst = it->second;
-  if (!inst.has_batch) return;
 
   if (!inst.validated && !inst.validation_failed) {
+    ProposalChain chain = ChainUpTo(id);
     Status s = ValidateProposedBatch(ctx_, inst.batch, inst.adopted_snapshot,
-                                     &inst.post_tree);
+                                     &inst.post_tree, &chain);
     if (!s.ok()) {
       // A correct replica stays silent on an invalid proposal; the
       // progress timer will trigger a view change.
       inst.validation_failed = true;
-      return;
+      return false;
     }
     inst.validated = true;
   }
-  if (inst.validation_failed) return;
+  // Successors chain off this slot's post-state; an unvalidated slot
+  // stops the walk.
+  if (inst.validation_failed) return false;
 
-  const crypto::NodeId leader =
-      config.LeaderOf(ctx_->partition(), view_);
+  const crypto::NodeId leader = config.LeaderOf(ctx_->partition(), view_);
 
   // Replica: prepare vote to the leader — unless a lock on a conflicting
   // batch at this id forbids it and the proposal carries no adequate
   // justification. Stay silent: the progress timer carries the lock into
-  // the next view change.
-  if (!inst.sent_prepare_vote && LockBlocksVote(inst)) return;
+  // the next view change. (Successors extend the conflicting batch, so
+  // the walk stops with it.)
+  if (!inst.sent_prepare_vote && LockBlocksVote(inst)) return false;
   if (!inst.sent_prepare_vote) {
     storage::BatchCertificate payload =
         CertificatePayloadFor(ctx_->partition(), inst.batch, inst.digest);
@@ -332,6 +463,9 @@ void LinearVoteConsensus::AdvanceConsensus() {
     msg.phase = wire::kLinearPhasePrepare;
     msg.batch_digest = inst.digest;
     msg.share = share;
+    // The view-bind share rides on the same vote (batched signing; no
+    // extra signature_op).
+    msg.view_share = ctx_->Sign(ViewBindPayload(id, inst.digest, view_));
     SendCounted(leader, ShareMsg(std::move(msg)),
                 ctx_->Charge(config.cost.signature_op));
   }
@@ -359,29 +493,42 @@ void LinearVoteConsensus::AdvanceConsensus() {
                 ctx_->Charge(config.cost.signature_op));
   }
 
-  // Replica: commit QC (verified on receipt) => decide.
+  // Replica: commit QC (verified on receipt) => decide — head slot only.
+  // A later slot's commit QC buffers in the instance until every
+  // predecessor decided (decides are strictly in log order).
   if (inst.have_commit_qc && !inst.decided &&
-      inst.certificate.batch_digest == inst.digest) {
-    Decide(next);
-    return;
+      inst.certificate.batch_digest == inst.digest &&
+      id == ctx_->mutable_log().LastBatchId() + 1) {
+    Decide(id);
+    return false;
   }
 
-  if (leader == ctx_->id()) LeaderAdvance(next, inst);
+  if (leader == ctx_->id() && LeaderAdvance(id, inst)) return false;
+  return true;
 }
 
-void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
+bool LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
   const SystemConfig& config = ctx_->config();
 
   if (!inst.prepare_qc_sent &&
       CountMatchingVotes(inst.prepare_votes, inst.digest) >= config.quorum_size()) {
     // Aggregate the prepare QC: a batch certificate carrying a quorum of
-    // shares (any f+1 subset is the client-facing certificate).
+    // shares (any f+1 subset is the client-facing certificate), plus the
+    // view-bind quorum certifying the view it formed in.
     inst.certificate = AssembleCertificateFromShares(
         ctx_, inst.batch, inst.digest, inst.prepare_votes, inst.prepare_shares,
         config.quorum_size());
     if (inst.certificate.signatures.size() < config.quorum_size()) {
-      return;  // A share failed verification; wait for more votes.
+      return false;  // A share failed verification; wait for more votes.
     }
+    crypto::SignatureSet view_sigs = CollectVerifiedShares(
+        ctx_, ViewBindPayload(batch_id, inst.digest, view_),
+        inst.prepare_votes, inst.view_shares, inst.digest,
+        config.quorum_size());
+    if (view_sigs.size() < config.quorum_size()) {
+      return false;  // A view-bind share failed; wait for more votes.
+    }
+    inst.qc_view_sigs = std::move(view_sigs);
     inst.prepare_qc_sent = true;
 
     // The leader's own commit vote, locking like any other commit voter.
@@ -395,6 +542,7 @@ void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
     msg.view = view_;
     msg.phase = wire::kLinearPhasePrepare;
     msg.cert = inst.certificate;
+    msg.view_sigs = inst.qc_view_sigs;
     BroadcastCounted(ShareMsg(std::move(msg)),
                      ctx_->Charge(config.cost.signature_op));
   }
@@ -404,7 +552,7 @@ void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
     crypto::SignatureSet commit_sigs = CollectVerifiedShares(
         ctx_, CommitVotePayload(batch_id, inst.digest), inst.commit_votes,
         inst.commit_shares, inst.digest, config.quorum_size());
-    if (commit_sigs.size() < config.quorum_size()) return;
+    if (commit_sigs.size() < config.quorum_size()) return false;
     inst.commit_qc_sent = true;
 
     wire::LinearQcMsg msg;
@@ -416,8 +564,15 @@ void LinearVoteConsensus::LeaderAdvance(BatchId batch_id, Instance& inst) {
     // uncharged broadcast would skew the engine-comparison bench.
     BroadcastCounted(ShareMsg(std::move(msg)),
                      ctx_->Charge(config.cost.signature_op));
-    Decide(batch_id);
+    if (batch_id == ctx_->mutable_log().LastBatchId() + 1) {
+      Decide(batch_id);
+      return true;
+    }
+    // Out-of-order commit quorum: buffer; the slot decides when its
+    // predecessors do.
+    inst.have_commit_qc = true;
   }
+  return false;
 }
 
 void LinearVoteConsensus::Decide(BatchId batch_id) {
@@ -475,13 +630,25 @@ void LinearVoteConsensus::RequestViewChange(uint64_t target,
     msg.new_view = target;
     msg.last_committed = ctx_->mutable_log().LastBatchId();
     msg.signature = sig;
-    // Report the lock so the prospective leader re-proposes a batch that
-    // may already be decided elsewhere (safety across the view change).
-    if (LockUsable()) {
-      msg.has_lock = true;
-      msg.lock_view = lock_.view;
-      msg.lock_batch = lock_.batch;
-      msg.lock_cert = lock_.cert;
+    // Report every live lock so the prospective leader re-proposes
+    // batches that may already be decided elsewhere (safety across the
+    // view change) — one report per in-flight slot when pipelining.
+    PruneStaleLocks();
+    for (const auto& [id, lock] : locks_) {
+      if (!lock.valid) continue;
+      wire::LinearLockReport report;
+      report.view = lock.view;
+      report.batch = lock.batch;
+      report.cert = lock.cert;
+      report.view_sigs = lock.view_sigs;
+      if (ctx_->byzantine() == ByzantineBehavior::kInflateLockView) {
+        // Claim the lock formed in a much later view, trying to make the
+        // new leader prefer it over a genuinely newer honest lock. The
+        // view-bind quorum certifies the real view, so honest leaders
+        // drop the report.
+        report.view += 16;
+      }
+      msg.locks.push_back(std::move(report));
     }
     SendCounted(prospective, ShareMsg(std::move(msg)),
                 ctx_->Charge(ctx_->config().cost.signature_op));
@@ -516,26 +683,42 @@ void LinearVoteConsensus::HandleViewChange(
   ServeCatchUp(from, msg.last_committed);
   if (target <= view_) return;
 
-  // Adopt a reported lock that supersedes ours. The certificate must be
-  // a genuine prepare QC for the reported batch at the first undecided
-  // position; the re-proposal in AdoptView then carries the highest lock
+  // Adopt reported locks that supersede ours, slot by slot. Each
+  // certificate must be a genuine prepare QC for the reported batch, and
+  // the claimed lock view must be certified by the QC's view-bind quorum
+  // — a kInflateLockView replica's exaggerated claim dies here. The
+  // re-proposal in AdoptView then carries, per slot, the highest lock
   // seen across the 2f+1 view-change messages.
-  if (msg.has_lock && msg.lock_batch.id > ctx_->mutable_log().LastBatchId() &&
-      (!lock_.valid || msg.lock_view >= lock_.view)) {
-    crypto::Digest digest = msg.lock_batch.ComputeDigest();
-    if (msg.lock_cert.batch_id == msg.lock_batch.id &&
-        msg.lock_cert.batch_digest == digest &&
-        msg.lock_cert
-            .Verify(ctx_->verifier(), ctx_->config().quorum_size(),
-                    ctx_->cluster_members())
-            .ok()) {
-      lock_.valid = true;
-      lock_.view = msg.lock_view;
-      lock_.batch = msg.lock_batch;
-      lock_.digest = digest;
-      lock_.cert = msg.lock_cert;
-      lock_.snapshot = merkle::MerkleTree::Snapshot();
+  PruneStaleLocks();
+  for (const wire::LinearLockReport& report : msg.locks) {
+    BatchId id = report.batch.id;
+    if (id <= ctx_->mutable_log().LastBatchId()) continue;
+    auto lk = locks_.find(id);
+    if (lk != locks_.end() && lk->second.valid && report.view < lk->second.view) {
+      continue;
     }
+    crypto::Digest digest = report.batch.ComputeDigest();
+    if (report.cert.batch_id != id || !(report.cert.batch_digest == digest) ||
+        !report.cert
+             .Verify(ctx_->verifier(), ctx_->config().quorum_size(),
+                     ctx_->cluster_members())
+             .ok() ||
+        !report.view_sigs
+             .VerifyQuorum(ctx_->verifier(),
+                           ViewBindPayload(id, digest, report.view),
+                           ctx_->config().quorum_size(),
+                           ctx_->cluster_members())
+             .ok()) {
+      continue;
+    }
+    Lock& lock = locks_[id];
+    lock.valid = true;
+    lock.view = report.view;
+    lock.batch = report.batch;
+    lock.digest = digest;
+    lock.cert = report.cert;
+    lock.view_sigs = report.view_sigs;
+    lock.snapshot = merkle::MerkleTree::Snapshot();
   }
 
   auto& votes = view_change_votes_[target];
@@ -588,50 +771,83 @@ void LinearVoteConsensus::AdoptView(uint64_t target) {
   view_change_votes_.erase(view_change_votes_.begin(),
                            view_change_votes_.upper_bound(target));
   hooks_.on_view_adopted();
-  if (IsLeaderSelf() && LockUsable()) ReproposeLocked();
+  if (IsLeaderSelf()) ReproposeLocked();
 }
 
 void LinearVoteConsensus::ReproposeLocked() {
   const SystemConfig& config = ctx_->config();
-  auto [it, inserted] =
-      instances_.try_emplace(lock_.batch.id, config.merkle_depth);
-  Instance& inst = it->second;
-  inst.has_batch = true;
-  inst.batch = lock_.batch;
-  inst.digest = lock_.digest;
-  inst.adopted_snapshot = lock_.snapshot;
-  Status s = ValidateProposedBatch(ctx_, inst.batch, inst.adopted_snapshot,
-                                   &inst.post_tree);
-  if (!s.ok()) {
-    // Deterministic re-validation of a quorum-certified batch against
-    // the same log prefix cannot fail; treat it like any other invalid
-    // proposal (silence + timer) if it somehow does.
-    inst.validation_failed = true;
-    return;
-  }
-  inst.validated = true;
+  PruneStaleLocks();
 
-  // The leader's own certificate share doubles as its prepare vote.
-  storage::BatchCertificate payload =
-      CertificatePayloadFor(ctx_->partition(), inst.batch, inst.digest);
-  inst.prepare_votes[ctx_->id()] = inst.digest;
-  inst.prepare_shares[ctx_->id()] = ctx_->Sign(payload.SignedPayload());
-  inst.sent_prepare_vote = true;
+  // Re-propose the contiguous locked prefix from the first undecided
+  // slot, skipping slots a live validated instance already owns (e.g. a
+  // re-proposal in flight). Stop at the first slot with neither: a lock
+  // past a gap stays adopted but waits — the Propose() conflicting-lock
+  // guard re-proposes it when the chain reaches its slot. (Safe: a slot
+  // decided anywhere implies a commit quorum — hence 2f+1 locks — on it
+  // and its decided predecessors, so no gap sits below a decided slot.)
+  bool proposed_any = false;
+  BatchId last = kNoBatch;
+  for (BatchId id = ctx_->mutable_log().LastBatchId() + 1;; ++id) {
+    auto it = instances_.find(id);
+    if (it != instances_.end() && it->second.has_batch) {
+      if (!it->second.validated) break;
+      last = id;
+      continue;  // Slot already owned; keep walking the prefix.
+    }
+    auto lk = locks_.find(id);
+    if (lk == locks_.end() || !lk->second.valid) break;
+    const Lock& lock = lk->second;
 
-  wire::LinearProposeMsg msg;
-  msg.view = view_;
-  msg.batch = inst.batch;
-  msg.leader_signature = ctx_->Sign(ProposalSignPayload(inst.digest));
-  msg.has_justify = true;
-  msg.justify_view = lock_.view;
-  msg.justify_cert = lock_.cert;
-  if (config.simulate_shared_merkle) {
-    msg.post_snapshot = inst.post_tree.GetSnapshot();
+    auto [slot, inserted] = instances_.try_emplace(id, config.merkle_depth);
+    Instance& inst = slot->second;
+    inst.has_batch = true;
+    inst.batch = lock.batch;
+    inst.digest = lock.digest;
+    inst.adopted_snapshot = lock.snapshot;
+    ProposalChain chain = ChainUpTo(id);
+    Status s = ValidateProposedBatch(ctx_, inst.batch, inst.adopted_snapshot,
+                                     &inst.post_tree, &chain);
+    if (!s.ok()) {
+      // Deterministic re-validation of a quorum-certified batch against
+      // the same log prefix cannot fail; treat it like any other invalid
+      // proposal (silence + timer) if it somehow does.
+      inst.validation_failed = true;
+      break;
+    }
+    inst.validated = true;
+
+    // The leader's own certificate share doubles as its prepare vote;
+    // the view-bind share rides along.
+    storage::BatchCertificate payload =
+        CertificatePayloadFor(ctx_->partition(), inst.batch, inst.digest);
+    inst.prepare_votes[ctx_->id()] = inst.digest;
+    inst.prepare_shares[ctx_->id()] = ctx_->Sign(payload.SignedPayload());
+    inst.view_shares[ctx_->id()] =
+        ctx_->Sign(ViewBindPayload(id, inst.digest, view_));
+    inst.sent_prepare_vote = true;
+
+    wire::LinearProposeMsg msg;
+    msg.view = view_;
+    msg.batch = inst.batch;
+    msg.leader_signature = ctx_->Sign(ProposalSignPayload(inst.digest));
+    msg.has_justify = true;
+    msg.justify_view = lock.view;
+    msg.justify_cert = lock.cert;
+    msg.justify_view_sigs = lock.view_sigs;
+    if (config.simulate_shared_merkle) {
+      msg.post_snapshot = inst.post_tree.GetSnapshot();
+    }
+    BroadcastCounted(ShareMsg(std::move(msg)),
+                     ctx_->Charge(config.cost.signature_op));
+    proposed_any = true;
+    last = id;
   }
-  reproposed_id_ = inst.batch.id;
-  BroadcastCounted(ShareMsg(std::move(msg)),
-                   ctx_->Charge(config.cost.signature_op));
-  StartViewChangeTimer(reproposed_id_);
+  if (!proposed_any) return;
+  // Gate the pipeline until the whole re-proposed prefix decides.
+  if (reproposed_id_ == kNoBatch || last > reproposed_id_) {
+    reproposed_id_ = last;
+  }
+  StartViewChangeTimer(last);
   AdvanceConsensus();
 }
 
@@ -671,7 +887,10 @@ bool LinearVoteConsensus::ApplyCatchUpEntry(
   ctx_->Charge(config.cost.signature_op +
                ctx_->BatchComputeCost(batch.TotalTransactions(),
                                       config.cost.validate_per_txn));
-  merkle::MerkleTree post_tree = ctx_->mutable_tree().Clone();
+  // Replay against the decided tree, not the applied one: under async
+  // apply the log tail is ahead of storage, and this entry chains off
+  // the last *decided* batch's post-state.
+  merkle::MerkleTree post_tree = ctx_->decided_tree().Clone();
   ApplyBatchWritesToTree(&post_tree, ctx_->partition_map(), ctx_->partition(),
                          batch, ctx_->prepared_batches());
   if (post_tree.RootDigest() != batch.ro.merkle_root) return false;

@@ -55,14 +55,29 @@ namespace transedge::core {
 /// so a replica that missed commit QCs or whole views rejoins without
 /// forcing a view change.
 ///
-/// Trust notes (simulation scope, see ROADMAP): the lock view inside a
-/// view-change report and the implied "decided" status of a catch-up
-/// batch are backed by a genuine quorum certificate but the *view* a QC
-/// formed in is not itself signed — the certificate payload stays
-/// byte-compatible with the client-facing `storage::BatchCertificate`,
-/// which carries no view. Closing that residual hole needs view-bound
-/// QC signatures; the modeled byzantine behaviours (tamper / stale /
-/// equivocate / crash) never forge protocol metadata.
+/// Pipelining (chained instances): the engine runs up to
+/// `SystemConfig::pipeline_depth` consensus instances concurrently.
+/// Slot k+1 validates against the chain of in-flight post-states (the
+/// predecessors' batches count as part of the batch window, their
+/// post-trees are the Merkle base), collects prepare votes while slot
+/// k's commit QC is still in flight, and *decides strictly in log
+/// order*: a commit QC for a later slot buffers in its instance until
+/// every predecessor has decided. Each slot locks independently
+/// (`locks_` is per-slot), and view-change messages report every usable
+/// lock so the new leader re-proposes the contiguous locked prefix from
+/// the first undecided slot. Locks past a gap in that prefix are kept
+/// but not re-proposed (safe: a slot decided anywhere implies a commit
+/// quorum — hence 2f+1 locks — on it *and* its decided predecessors, so
+/// no gap can sit below a decided slot); their slots are re-filled when
+/// the chain reaches them.
+///
+/// View-bound QCs: prepare votes carry a second signature over the
+/// view-bind payload (partition, batch id, digest, view), and the
+/// prepare QC carries the aggregated quorum. The view a lock formed in
+/// is therefore certified: a byzantine replica inflating its reported
+/// lock view (ByzantineBehavior::kInflateLockView), or a byzantine
+/// leader inflating a re-proposal justification, fails the view-bind
+/// quorum check and the claim is dropped.
 class LinearVoteConsensus : public Consensus {
  public:
   LinearVoteConsensus(NodeContext* ctx, Hooks hooks);
@@ -73,6 +88,9 @@ class LinearVoteConsensus : public Consensus {
   void AdvanceConsensus() override;
   void StartViewChangeTimer(BatchId batch_id) override;
   bool HasPendingReproposal() const override;
+  size_t InFlight() const override;
+  uint32_t MaxPipelineDepth() const override;
+  ProposalChain Chain() override;
   const Stats& stats() const override { return stats_; }
 
  private:
@@ -90,6 +108,8 @@ class LinearVoteConsensus : public Consensus {
     // an equivocating leader's two variants split the vote.
     std::map<crypto::NodeId, crypto::Digest> prepare_votes;
     std::map<crypto::NodeId, crypto::Signature> prepare_shares;
+    /// View-bind shares riding on the prepare votes (view-signed QCs).
+    std::map<crypto::NodeId, crypto::Signature> view_shares;
     std::map<crypto::NodeId, crypto::Digest> commit_votes;
     std::map<crypto::NodeId, crypto::Signature> commit_shares;
     bool prepare_qc_sent = false;
@@ -110,21 +130,27 @@ class LinearVoteConsensus : public Consensus {
     crypto::SignatureSet commit_qc_sigs;
     /// Client-facing certificate (from own aggregation or a received QC).
     storage::BatchCertificate certificate;
+    /// Verified view-bind quorum of the prepare QC (own aggregation or
+    /// received); copied into the lock so view claims stay provable.
+    crypto::SignatureSet qc_view_sigs;
     bool decided = false;
 
     explicit Instance(int merkle_depth) : post_tree(merkle_depth) {}
   };
 
-  /// The prepare-QC lock: set before any commit vote is cast, kept
-  /// across view adoptions (unlike `instances_`), superseded only by a
-  /// higher-view QC. `snapshot` is the shared-merkle shortcut snapshot
-  /// when the locking instance had one (invalid otherwise).
+  /// A prepare-QC lock: set before any commit vote is cast, kept across
+  /// view adoptions (unlike `instances_`), superseded only by a
+  /// higher-view QC for the same slot. One lock per in-flight slot when
+  /// pipelining. `snapshot` is the shared-merkle shortcut snapshot when
+  /// the locking instance had one (invalid otherwise); `view_sigs` is
+  /// the QC's view-bind quorum, proving `view` to third parties.
   struct Lock {
     bool valid = false;
     uint64_t view = 0;
     storage::Batch batch;
     crypto::Digest digest;
     storage::BatchCertificate cert;
+    crypto::SignatureSet view_sigs;
     merkle::MerkleTree::Snapshot snapshot;
   };
 
@@ -141,17 +167,26 @@ class LinearVoteConsensus : public Consensus {
   }
   bool IsClusterMember(crypto::NodeId id) const;
 
-  /// True while the lock names the next undecided log position.
-  bool LockUsable() const;
-  /// Adopts (view, inst) as the lock when it is at least as recent as
-  /// the current one.
+  /// Drops locks for slots the log has already decided.
+  void PruneStaleLocks();
+  /// Adopts (view, inst) as the slot's lock when it is at least as
+  /// recent as the current one.
   void MaybeLockOn(uint64_t view, const Instance& inst);
   /// True when a conflicting lock forbids prepare-voting `inst` and the
   /// proposal carries no adequate justification.
   bool LockBlocksVote(const Instance& inst) const;
-  /// New leader: re-proposes the locked batch (with the QC as
-  /// justification) as the first proposal of the adopted view.
+  /// Leader: re-proposes (with each lock's QC as justification) the
+  /// locked slots reachable from the first undecided position — skipping
+  /// slots already owned by a live instance, stopping at the first slot
+  /// with neither. No-op when the head slot has neither.
   void ReproposeLocked();
+  /// Chain context for validating/building slot `id`: the validated
+  /// in-flight predecessors in (tail, id) and the newest post-tree.
+  ProposalChain ChainUpTo(BatchId id);
+  /// Drives one slot's phases (validate, prepare vote, commit vote,
+  /// leader aggregation); returns false when the walk over later slots
+  /// must stop (validation failed/lock-blocked/slot decided).
+  bool AdvanceSlot(BatchId id, Instance& inst);
 
   /// Sends the log entries past `peer_last` (plus our new-view proof) to
   /// a lagging replica.
@@ -166,12 +201,18 @@ class LinearVoteConsensus : public Consensus {
 
   /// Bytes a commit-phase vote signs.
   Bytes CommitVotePayload(BatchId batch_id, const crypto::Digest& digest) const;
+  /// Bytes a view-bind share signs: ties a prepare QC to the view it
+  /// formed in.
+  Bytes ViewBindPayload(BatchId batch_id, const crypto::Digest& digest,
+                        uint64_t view) const;
   /// Bytes a view-change vote signs.
   Bytes ViewChangePayload(uint64_t new_view) const;
 
   /// Leader: aggregate prepare/commit quorums and broadcast QCs; decide
-  /// on the commit quorum.
-  void LeaderAdvance(BatchId batch_id, Instance& inst);
+  /// on the commit quorum when the slot is the log head (later slots
+  /// buffer their commit QC until predecessors decide). Returns true
+  /// when the slot decided.
+  bool LeaderAdvance(BatchId batch_id, Instance& inst);
   /// Hands the decided batch to the node (exactly once, in log order).
   void Decide(BatchId batch_id);
 
@@ -193,9 +234,11 @@ class LinearVoteConsensus : public Consensus {
   /// Prospective-leader aggregation of view-change signatures.
   std::map<uint64_t, std::map<crypto::NodeId, crypto::Signature>>
       view_change_votes_;
-  Lock lock_;
-  /// Position of an in-flight view-change re-proposal; the pipeline is
-  /// gated off the slot until it decides (NodeContext::ReproposalPending).
+  /// Per-slot prepare-QC locks (slot id -> lock).
+  std::map<BatchId, Lock> locks_;
+  /// Newest position of an in-flight view-change re-proposal; the
+  /// pipeline is gated off new proposals until the whole re-proposed
+  /// prefix decides (NodeContext::ReproposalPending).
   BatchId reproposed_id_ = kNoBatch;
   /// Most recent verified new-view proof, piggybacked on catch-up so a
   /// replica that missed the announcement can adopt the view.

@@ -21,6 +21,15 @@ void PbftConsensus::BroadcastCounted(const sim::MessagePtr& msg,
   ctx_->BroadcastToCluster(msg, at);
 }
 
+size_t PbftConsensus::InFlight() const {
+  BatchId tail = ctx_->mutable_log().LastBatchId();
+  size_t n = 0;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.has_batch && !inst.decided && id > tail) ++n;
+  }
+  return n;
+}
+
 bool PbftConsensus::OnMessage(sim::ActorId from, const sim::Message& msg) {
   switch (static_cast<wire::MessageType>(msg.type())) {
     case wire::MessageType::kPrePrepare:

@@ -26,6 +26,10 @@ class PbftConsensus : public Consensus {
   void AdvanceConsensus() override;
   void StartViewChangeTimer(BatchId batch_id) override;
   const Stats& stats() const override { return stats_; }
+  /// Undecided proposals past the log tail. PBFT keeps the Consensus
+  /// default MaxPipelineDepth() == 1 (one batch at a time), so this is
+  /// 0 or 1 outside of queued out-of-order proposals.
+  size_t InFlight() const override;
 
  private:
   struct ConsensusInstance {

@@ -29,14 +29,15 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
       partition_map_(config.num_partitions),
       cluster_members_(config.ClusterMembers(partition_)),
       tree_(config.merkle_depth),
+      decided_tree_(config.merkle_depth),
       validator_(&store_) {
   // The private-base conversion must happen in this class's scope.
   NodeContext* ctx = this;
 
   Consensus::Hooks consensus_hooks;
   consensus_hooks.on_decided = [this](Consensus::Decided d) {
-    ApplyDecidedBatch(std::move(d.batch), std::move(d.certificate),
-                      std::move(d.post_tree));
+    OnDecided(std::move(d.batch), std::move(d.certificate),
+              std::move(d.post_tree));
   };
   consensus_hooks.on_view_adopted = [this] {
     pipeline_->OnViewChange();
@@ -80,6 +81,7 @@ void TransEdgeNode::Preload(const storage::VersionedStore& store,
                             const merkle::MerkleTree& tree) {
   store_ = store;
   tree_ = tree.Clone();
+  decided_tree_ = tree.Clone();
 }
 
 void TransEdgeNode::OnStart() { pipeline_->OnStart(); }
@@ -114,6 +116,7 @@ const NodeStats& TransEdgeNode::stats() const {
   s.dist_committed = two_pc_->stats().dist_committed;
   s.dist_aborted = pipeline_stats.dist_aborted + two_pc_->stats().dist_aborted;
   s.batches_decided = consensus_->stats().batches_decided;
+  s.batches_applied = batches_applied_;
   s.ro_round1_served = read_only_->stats().ro_round1_served;
   s.ro_round2_served = read_only_->stats().ro_round2_served;
   s.ro_round2_parked = read_only_->stats().ro_round2_parked;
@@ -129,6 +132,30 @@ const merkle::MerkleTree::Snapshot& TransEdgeNode::SnapshotAt(
     BatchId batch_id) const {
   assert(batch_id >= snapshot_base_);
   return snapshots_[static_cast<size_t>(batch_id - snapshot_base_)];
+}
+
+size_t TransEdgeNode::ConsensusInFlight() const {
+  return consensus_->InFlight();
+}
+
+uint32_t TransEdgeNode::EffectivePipelineDepth() const {
+  uint32_t depth = config_.pipeline_depth == 0 ? 1 : config_.pipeline_depth;
+  return std::min(depth, consensus_->MaxPipelineDepth());
+}
+
+ProposalChain TransEdgeNode::proposal_chain() {
+  ProposalChain chain = consensus_->Chain();
+  if (chain.head_tree == nullptr) {
+    chain.next_id = log_.LastBatchId() + 1;
+    chain.head_tree = &decided_tree_;
+  }
+  return chain;
+}
+
+BatchId TransEdgeNode::LatestDecidedVersion(const Key& key) const {
+  auto it = decided_versions_.find(key);
+  if (it != decided_versions_.end()) return it->second;
+  return store_.LatestVersion(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -240,24 +267,21 @@ void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
 }
 
 // ---------------------------------------------------------------------------
-// Decided-batch application (storage stack) and follow-up fan-out
+// Decided batches: decide-time metadata, then queued storage apply
 // ---------------------------------------------------------------------------
 
-void TransEdgeNode::ApplyDecidedBatch(storage::Batch batch,
-                                      storage::BatchCertificate certificate,
-                                      merkle::MerkleTree post_tree) {
-  Charge(BatchComputeCost(batch.TotalTransactions(),
-                          config_.cost.apply_per_txn));
+void TransEdgeNode::OnDecided(storage::Batch batch,
+                              storage::BatchCertificate certificate,
+                              merkle::MerkleTree post_tree) {
+  PendingApply entry;
+  entry.id = batch.id;
 
-  // Apply local writes to the store (the tree was updated during
-  // validation / proposal).
-  for (const Transaction& t : batch.local) {
-    for (const WriteOp& w : partition_map_.WritesFor(t, partition_)) {
-      store_.Put(w.key, w.value, batch.id);
-    }
-  }
-
-  // Pop the committed prepare groups and apply their writes.
+  // Pop the committed prepare groups — by id, not position: the
+  // certified commit order is authoritative, and popping positionally
+  // would silently consume the wrong group if local queue order ever
+  // diverged from it. The groups travel with the apply entry; their
+  // pending-footprint share is released now, since admission and
+  // validation key off the decided state.
   std::vector<BatchId> group_ids;
   for (const storage::CommitRecord& rec : batch.committed) {
     if (group_ids.empty() || group_ids.back() != rec.prepared_in_batch) {
@@ -265,34 +289,14 @@ void TransEdgeNode::ApplyDecidedBatch(storage::Batch batch,
     }
   }
   for (BatchId gid : group_ids) {
-    txn::PrepareGroup group = prepared_batches_.PopOldest();
-    assert(group.prepared_in_batch == gid);
-    (void)gid;
+    Result<txn::PrepareGroup> popped = prepared_batches_.PopGroup(gid);
+    assert(popped.ok());
+    if (!popped.ok()) continue;
+    txn::PrepareGroup group = std::move(popped).value();
     for (txn::PendingTxn& pending : group.txns) {
-      auto rec_it = std::find_if(batch.committed.begin(), batch.committed.end(),
-                                 [&](const storage::CommitRecord& r) {
-                                   return r.txn_id == pending.txn.id;
-                                 });
       pending_index_.Remove(pending.txn);
-      if (rec_it != batch.committed.end() && rec_it->committed) {
-        for (const WriteOp& w :
-             partition_map_.WritesFor(pending.txn, partition_)) {
-          store_.Put(w.key, w.value, batch.id);
-        }
-      }
     }
-  }
-
-  tree_ = std::move(post_tree);
-  snapshots_.push_back(tree_.GetSnapshot());
-  assert(snapshot_base_ + static_cast<BatchId>(snapshots_.size()) ==
-         batch.id + 1);
-  if (snapshots_.size() > config_.snapshot_history) {
-    snapshots_.pop_front();
-    ++snapshot_base_;
-    // Bound version-history growth along with the snapshots (amortized:
-    // a full sweep of the store every 64 batches).
-    if (snapshot_base_ % 64 == 0) store_.TruncateHistory(snapshot_base_);
+    entry.groups.push_back(std::move(group));
   }
 
   // Register the new prepare group so the read-only segment of a later
@@ -309,20 +313,159 @@ void TransEdgeNode::ApplyDecidedBatch(storage::Batch batch,
     prepared_batches_.AddGroup(batch.id, std::move(pendings));
   }
 
+  // Advance the decided watermark: version overlay, decided tree, log.
+  auto record_decided_write = [&](const Transaction& t) {
+    for (const WriteOp& w : partition_map_.WritesFor(t, partition_)) {
+      decided_versions_[w.key] = batch.id;
+    }
+  };
+  for (const Transaction& t : batch.local) record_decided_write(t);
+  for (const txn::PrepareGroup& group : entry.groups) {
+    for (const txn::PendingTxn& pending : group.txns) {
+      auto rec_it = std::find_if(batch.committed.begin(), batch.committed.end(),
+                                 [&](const storage::CommitRecord& r) {
+                                   return r.txn_id == pending.txn.id;
+                                 });
+      if (rec_it != batch.committed.end() && rec_it->committed) {
+        record_decided_write(pending.txn);
+      }
+    }
+  }
+  decided_tree_ = post_tree.Clone();
+  entry.post_tree = std::move(post_tree);
+
   Status append = log_.Append({std::move(batch), std::move(certificate)});
   assert(append.ok());
   (void)append;
-  const storage::LogEntry& logged = log_.back();
+
+  apply_queue_.push_back(std::move(entry));
+  if (!config_.async_apply) {
+    // Synchronous apply: drain inline on the replica's CPU, exactly the
+    // pre-queue behavior (the queue never holds more than this entry).
+    while (!apply_queue_.empty()) {
+      PendingApply next = std::move(apply_queue_.front());
+      apply_queue_.pop_front();
+      Charge(ApplyCostFor(next));
+      InstallApply(std::move(next));
+    }
+  } else {
+    ScheduleApplyDrain();
+  }
+
+  consensus_->AdvanceConsensus();
+  pipeline_->MaybeProposeOnSize();
+}
+
+sim::Time TransEdgeNode::ApplyCostFor(const PendingApply& entry) const {
+  Result<const storage::LogEntry*> logged = log_.Get(entry.id);
+  assert(logged.ok());
+  const storage::Batch& batch = logged.value()->batch;
+  const size_t n = batch.TotalTransactions();
+  const uint32_t shards = config_.apply_shards == 0 ? 1 : config_.apply_shards;
+  if (shards <= 1) {
+    return BatchComputeCost(n, config_.cost.apply_per_txn);
+  }
+  // Carve the write ops over leaf-index subranges (each shard owns a
+  // whole subtree of the authenticated structure) and pay for the
+  // slowest shard plus the spine recombine.
+  std::vector<size_t> loads(shards, 0);
+  auto count = [&](const Transaction& t) {
+    for (const WriteOp& w : partition_map_.WritesFor(t, partition_)) {
+      uint32_t leaf =
+          merkle::MerkleTree::LeafIndexFor(w.key, config_.merkle_depth);
+      ++loads[merkle::MerkleTree::LeafShardOf(leaf, config_.merkle_depth,
+                                              shards)];
+    }
+  };
+  for (const Transaction& t : batch.local) count(t);
+  for (const txn::PrepareGroup& group : entry.groups) {
+    for (const txn::PendingTxn& pending : group.txns) {
+      auto rec_it = std::find_if(batch.committed.begin(), batch.committed.end(),
+                                 [&](const storage::CommitRecord& r) {
+                                   return r.txn_id == pending.txn.id;
+                                 });
+      if (rec_it != batch.committed.end() && rec_it->committed) {
+        count(pending.txn);
+      }
+    }
+  }
+  return ShardedApplyCost(n, loads);
+}
+
+void TransEdgeNode::InstallApply(PendingApply entry) {
+  Result<const storage::LogEntry*> logged_or = log_.Get(entry.id);
+  assert(logged_or.ok());
+  const storage::LogEntry& logged = *logged_or.value();
+  const storage::Batch& batch = logged.batch;
+
+  auto apply_write = [&](const WriteOp& w) {
+    store_.Put(w.key, w.value, batch.id);
+    // Drain the decided-version overlay once the store has caught up.
+    auto it = decided_versions_.find(w.key);
+    if (it != decided_versions_.end() && it->second == batch.id) {
+      decided_versions_.erase(it);
+    }
+  };
+  for (const Transaction& t : batch.local) {
+    for (const WriteOp& w : partition_map_.WritesFor(t, partition_)) {
+      apply_write(w);
+    }
+  }
+  for (txn::PrepareGroup& group : entry.groups) {
+    for (txn::PendingTxn& pending : group.txns) {
+      auto rec_it = std::find_if(batch.committed.begin(), batch.committed.end(),
+                                 [&](const storage::CommitRecord& r) {
+                                   return r.txn_id == pending.txn.id;
+                                 });
+      if (rec_it != batch.committed.end() && rec_it->committed) {
+        for (const WriteOp& w :
+             partition_map_.WritesFor(pending.txn, partition_)) {
+          apply_write(w);
+        }
+      }
+    }
+  }
+
+  tree_ = std::move(entry.post_tree);
+  snapshots_.push_back(tree_.GetSnapshot());
+  assert(snapshot_base_ + static_cast<BatchId>(snapshots_.size()) ==
+         batch.id + 1);
+  if (snapshots_.size() > config_.snapshot_history) {
+    snapshots_.pop_front();
+    ++snapshot_base_;
+    // Bound version-history growth along with the snapshots (amortized:
+    // a full sweep of the store every 64 batches).
+    if (snapshot_base_ % 64 == 0) store_.TruncateHistory(snapshot_base_);
+  }
+
+  last_applied_ = batch.id;
+  ++batches_applied_;
 
   // Engine follow-ups, in the same order the monolithic replica used:
   // leader bookkeeping + local client replies, 2PC legs, parked
-  // read-only work, the next queued consensus instance, and finally a
-  // size-triggered re-proposal.
+  // read-only work.
   pipeline_->OnBatchApplied(logged.batch);
   two_pc_->OnBatchApplied(logged.batch, logged.certificate);
   read_only_->ServeParkedRequests();
-  consensus_->AdvanceConsensus();
-  pipeline_->MaybeProposeOnSize();
+}
+
+void TransEdgeNode::ScheduleApplyDrain() {
+  if (apply_inflight_ || apply_queue_.empty()) return;
+  apply_inflight_ = true;
+  sim::Time done =
+      apply_cpu_.Charge(env_->now(), ApplyCostFor(apply_queue_.front()));
+  env_->Schedule(done - env_->now(), [this] {
+    PendingApply entry = std::move(apply_queue_.front());
+    apply_queue_.pop_front();
+    apply_inflight_ = false;
+    // Pin the protocol CPU to now so follow-up sends (client replies,
+    // 2PC legs) are never stamped in the past.
+    cpu_.Charge(env_->now(), 0);
+    InstallApply(std::move(entry));
+    consensus_->AdvanceConsensus();
+    pipeline_->MaybeProposeOnSize();
+    ScheduleApplyDrain();
+  });
 }
 
 }  // namespace transedge::core

@@ -3,6 +3,7 @@
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -33,6 +34,9 @@ struct NodeStats {
   uint64_t dist_committed = 0;
   uint64_t dist_aborted = 0;
   uint64_t batches_decided = 0;
+  /// Batches whose writes reached the store/tree; trails batches_decided
+  /// while the asynchronous apply queue drains.
+  uint64_t batches_applied = 0;
   uint64_t ro_round1_served = 0;
   uint64_t ro_round2_served = 0;
   uint64_t ro_round2_parked = 0;
@@ -83,6 +87,7 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   // Introspection for tests and benches.
   crypto::NodeId id() const override { return id_; }
   PartitionId partition() const override { return partition_; }
+  BatchId last_applied() const override { return last_applied_; }
   uint64_t view() const;
   bool IsLeader() const override;
   bool ReproposalPending() const override;
@@ -138,14 +143,43 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   BatchId snapshot_base() const override { return snapshot_base_; }
   const merkle::MerkleTree::Snapshot& SnapshotAt(
       BatchId batch_id) const override;
+  const merkle::MerkleTree& decided_tree() override { return decided_tree_; }
+  size_t ConsensusInFlight() const override;
+  uint32_t EffectivePipelineDepth() const override;
+  ProposalChain proposal_chain() override;
+  BatchId LatestDecidedVersion(const Key& key) const override;
 
-  /// Applies a decided batch to the storage stack (store writes, prepare
-  /// group transitions, tree/snapshot/log updates) and fans the follow-up
-  /// work out to the engines. Wired as the consensus engine's on_decided
-  /// hook.
-  void ApplyDecidedBatch(storage::Batch batch,
-                         storage::BatchCertificate certificate,
-                         merkle::MerkleTree post_tree);
+  /// A decided batch waiting for its storage apply: the post-state tree
+  /// consensus certified and the prepare groups its committed segment
+  /// consumed (popped at decide time, before any later decide can touch
+  /// the queue). The batch itself lives in the log.
+  struct PendingApply {
+    BatchId id = kNoBatch;
+    merkle::MerkleTree post_tree;
+    std::vector<txn::PrepareGroup> groups;
+  };
+
+  /// Consensus `on_decided` hook. Runs the decide-time metadata
+  /// transitions (prepare-group pops, pending-footprint updates, group
+  /// registration, log append, decided tree/version advance), enqueues
+  /// the storage apply, drains it — inline on the replica CPU when
+  /// `async_apply` is off (the pre-queue behavior), else on the apply
+  /// worker — and finally advances consensus and the batch pipeline.
+  void OnDecided(storage::Batch batch, storage::BatchCertificate certificate,
+                 merkle::MerkleTree post_tree);
+
+  /// Simulated cost of the storage apply for `entry`: serial batch cost
+  /// for one apply shard, slowest-shard + recombine for several.
+  sim::Time ApplyCostFor(const PendingApply& entry) const;
+
+  /// Installs a decided batch into the storage stack (store writes, tree
+  /// + snapshot window, applied watermark) and fans the follow-up work
+  /// out to the engines.
+  void InstallApply(PendingApply entry);
+
+  /// Async mode: books the head-of-queue apply on the apply worker's CPU
+  /// and schedules its completion; re-arms itself until the queue drains.
+  void ScheduleApplyDrain();
 
   SystemConfig config_;
   crypto::NodeId id_;
@@ -168,6 +202,23 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   std::deque<merkle::MerkleTree::Snapshot> snapshots_;
   BatchId snapshot_base_ = 0;
   storage::SmrLog log_;
+
+  // Decided-vs-applied decoupling. `tree_` above is the *applied* tree
+  // (read-only serving); `decided_tree_` tracks the newest certified
+  // post-state (validation, proposal sealing, catch-up).
+  merkle::MerkleTree decided_tree_;
+  /// key -> id of the newest decided-but-unapplied batch writing it;
+  /// entries drain as the apply queue does (always empty under
+  /// synchronous apply).
+  std::unordered_map<Key, BatchId> decided_versions_;
+  BatchId last_applied_ = kNoBatch;
+  uint64_t batches_applied_ = 0;
+  std::deque<PendingApply> apply_queue_;
+  bool apply_inflight_ = false;
+  /// The apply worker's CPU: asynchronous apply charges here, modeling a
+  /// storage thread running beside the consensus/protocol CPU.
+  sim::CpuMeter apply_cpu_;
+
   txn::OccValidator validator_;
   txn::PreparedBatches prepared_batches_;
   FootprintIndex pending_index_;  // Prepared-but-undecided distributed txns.

@@ -36,6 +36,23 @@ enum class ByzantineBehavior {
   kEquivocate,
   /// Crash-stop: the node ignores all input.
   kCrash,
+  /// During view changes the replica reports its prepare-QC lock with an
+  /// inflated view number, trying to make the new leader prefer its
+  /// (possibly stale) batch over a genuinely newer lock. Defeated by the
+  /// view signatures embedded in prepare QCs.
+  kInflateLockView,
+};
+
+/// The leader's view of the proposal chain while consensus instances are
+/// pipelined: the id the next proposal must take, the proposed-but-not-
+/// yet-decided batches in log order, and the Merkle tree positioned
+/// after the last of them (the decided tree when none are in flight).
+/// Pointers borrow from the consensus engine and are only valid for the
+/// duration of the call that obtained them.
+struct ProposalChain {
+  BatchId next_id = 0;
+  std::vector<const storage::Batch*> pending;
+  const merkle::MerkleTree* head_tree = nullptr;
 };
 
 /// The narrow seam between the replica's subsystem engines and the node
@@ -99,6 +116,45 @@ class NodeContext {
   virtual const merkle::MerkleTree::Snapshot& SnapshotAt(
       BatchId batch_id) const = 0;
 
+  // --- Decided vs. applied watermarks --------------------------------------
+  /// Highest batch id whose writes have reached the store and tree
+  /// (`mutable_tree()` is positioned here); kNoBatch before the first
+  /// apply. Trails `mutable_log().LastBatchId()` — the *decided*
+  /// watermark — while the apply queue drains.
+  virtual BatchId last_applied() const = 0;
+
+  /// The Merkle tree positioned after the newest *decided* batch.
+  /// Validation, proposal sealing, and catch-up chain from this tree;
+  /// read-only serving stays on `mutable_tree()` (the applied tree).
+  virtual const merkle::MerkleTree& decided_tree() = 0;
+
+  /// Number of proposed-but-undecided consensus instances in flight.
+  virtual size_t ConsensusInFlight() const { return 0; }
+
+  /// min(config().pipeline_depth, engine's MaxPipelineDepth).
+  virtual uint32_t EffectivePipelineDepth() const { return 1; }
+
+  /// Chain state for building the next proposal on top of in-flight
+  /// instances; degenerates to (log tail + 1, {}, decided tree) when
+  /// nothing is in flight.
+  virtual ProposalChain proposal_chain() = 0;
+
+  /// Latest version of `key` in the *decided* log prefix: the applied
+  /// store overlaid with the writes of decided-but-unapplied batches.
+  /// A pure function of the log, so identical on every replica — unlike
+  /// the applied store, whose watermark is timing-dependent once apply
+  /// is asynchronous. Read-version checks (admission and batch
+  /// re-validation) must resolve through this so all replicas reach the
+  /// same verdict on a proposal.
+  virtual BatchId LatestDecidedVersion(const Key& key) const = 0;
+
+  /// True when apply is off the decision critical path — either the
+  /// apply queue drains asynchronously or consensus runs more than one
+  /// instance deep. False is the bit-identical legacy mode.
+  bool DecoupledApply() const {
+    return config().async_apply || EffectivePipelineDepth() > 1;
+  }
+
   // --- Shared helpers (implemented on top of the virtuals) -----------------
   /// Restricts `txn`'s read/write sets to keys owned by this partition.
   Transaction RestrictToPartition(const Transaction& txn) const;
@@ -112,6 +168,23 @@ class NodeContext {
   /// quad(Σᵢ nᵢ). Equals BatchComputeCost for a single shard.
   sim::Time ShardedBatchComputeCost(const std::vector<size_t>& shard_sizes,
                                     sim::Time per_txn) const;
+
+  /// Simulated cost of applying a decided batch of `batch_size` write
+  /// transactions when the write set is carved into `shard_write_loads`
+  /// (write ops per apply shard, MerkleTree::LeafShardOf carving). One
+  /// shard returns exactly BatchComputeCost(batch_size, apply_per_txn);
+  /// k shards pay the fixed overhead, the variable term scaled by the
+  /// slowest shard's share of the write ops, and a per-shard recombine
+  /// charge for hashing the shared spine back together.
+  sim::Time ShardedApplyCost(size_t batch_size,
+                             const std::vector<size_t>& shard_write_loads)
+      const;
+
+  /// OccValidator::CheckAgainstStore with versions resolved through
+  /// `LatestDecidedVersion` instead of the applied store. Synchronous
+  /// apply keeps the two identical; asynchronous apply makes this the
+  /// only replica-consistent check.
+  Status CheckReadVersions(const Transaction& txn) const;
 
   /// Sends a CommitReply to `client`. `retryable` marks aborts the client
   /// should transparently re-issue against the next leader (e.g. a view

@@ -90,12 +90,17 @@ void ReadOnlyService::HandleRoRequest(sim::ActorId from,
       ctx_->Charge(ctx_->config().cost.ro_serve_per_key *
                        static_cast<sim::Time>(msg.keys.size()) +
                    ctx_->config().cost.signature_op);
-  if (ctx_->mutable_log().empty()) {
-    // No certified state yet; reply unserviceable, the client retries.
+  if (ctx_->last_applied() == kNoBatch) {
+    // No *applied* certified state yet (the log may already hold decided
+    // batches whose storage apply is still queued); reply unserviceable,
+    // the client retries.
     ctx_->Send(client, ShareMsg(UnserviceableReply(msg.request_id)), done);
     return;
   }
-  BatchId batch_id = ctx_->mutable_log().LastBatchId();
+  // Serve from the applied snapshot window: the newest batch whose writes
+  // (and Merkle snapshot) have actually reached the storage stack. Under
+  // asynchronous apply this trails the decided log head.
+  BatchId batch_id = ctx_->last_applied();
   if (ctx_->byzantine() == ByzantineBehavior::kStaleSnapshot && batch_id > 0) {
     // Old but certified (bounded by the retained snapshot window).
     batch_id = std::max<BatchId>(ctx_->snapshot_base(), batch_id - 64);
@@ -112,12 +117,14 @@ void ReadOnlyService::HandleRoRequest(sim::ActorId from,
 
 BatchId ReadOnlyService::FindBatchWithLce(BatchId min_lce) const {
   const storage::SmrLog& log = ctx_->mutable_log();
-  if (log.empty()) return kNoBatch;
+  if (ctx_->last_applied() == kNoBatch) return kNoBatch;
   // LCE is non-decreasing across batches: binary search for the earliest
   // batch satisfying the dependency. Snapshots older than the retained
-  // window cannot be served, so the search floor is the window base.
+  // window cannot be served, so the search floor is the window base; the
+  // ceiling is the *applied* head — later batches are decided but have
+  // no snapshot yet.
   BatchId lo = ctx_->snapshot_base();
-  BatchId hi = log.LastBatchId();
+  BatchId hi = ctx_->last_applied();
   Result<const storage::LogEntry*> last = log.Get(hi);
   if (!last.ok() || last.value()->batch.ro.lce < min_lce) return kNoBatch;
   while (lo < hi) {

@@ -150,7 +150,11 @@ void ShardedPipeline::MaybeProposeOnSize() {
     shards_[0]->MaybeProposeOnSize();
     return;
   }
-  if (ctx_->IsLeader() && !proposing_ && !ctx_->ReproposalPending() &&
+  bool slot_free =
+      ctx_->DecoupledApply()
+          ? ctx_->ConsensusInFlight() < ctx_->EffectivePipelineDepth()
+          : !proposing_;
+  if (ctx_->IsLeader() && slot_free && !ctx_->ReproposalPending() &&
       in_progress_size() >= ctx_->config().max_batch_size) {
     ProposeMerged();
   }

@@ -55,6 +55,26 @@ PrepareGroup PreparedBatches::PopOldest() {
   return group;
 }
 
+Result<PrepareGroup> PreparedBatches::PopGroup(BatchId batch_id) {
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (it->prepared_in_batch != batch_id) continue;
+    PrepareGroup group = std::move(*it);
+    groups_.erase(it);
+    return group;
+  }
+  return Status::NotFound("no prepare group for batch " +
+                          std::to_string(batch_id));
+}
+
+std::vector<BatchId> PreparedBatches::GroupIds() const {
+  std::vector<BatchId> out;
+  out.reserve(groups_.size());
+  for (const PrepareGroup& group : groups_) {
+    out.push_back(group.prepared_in_batch);
+  }
+  return out;
+}
+
 std::vector<const PrepareGroup*> PreparedBatches::ReadyPrefix() const {
   std::vector<const PrepareGroup*> out;
   for (const PrepareGroup& group : groups_) {

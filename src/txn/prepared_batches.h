@@ -67,10 +67,22 @@ class PreparedBatches {
   /// segment *is* the decision. Requires a non-empty structure.
   PrepareGroup PopOldest();
 
+  /// Removes and returns the group prepared in `batch_id`, wherever it
+  /// sits in the queue; NotFound when no such group is registered. The
+  /// safe way to consume a certified batch's committed segment: popping
+  /// positionally would silently apply the wrong group's writes if the
+  /// queue order ever diverged from the certified commit order.
+  Result<PrepareGroup> PopGroup(BatchId batch_id);
+
   /// The oldest group, or nullptr.
   const PrepareGroup* Oldest() const {
     return groups_.empty() ? nullptr : &groups_.front();
   }
+
+  /// Prepare-batch ids of all registered groups, oldest first. Used by
+  /// pipelined validation to find the oldest group not already committed
+  /// by an in-flight batch.
+  std::vector<BatchId> GroupIds() const;
 
   /// Invokes `fn` for every still-undecided transaction (used for
   /// conflict rule 3 of Definition 3.1).

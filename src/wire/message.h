@@ -214,6 +214,10 @@ struct LinearProposeMsg : TypedMessage<MessageType::kLinearPropose> {
   bool has_justify = false;
   uint64_t justify_view = 0;
   storage::BatchCertificate justify_cert;
+  /// >= 2f+1 signatures binding the justifying QC to `justify_view`
+  /// (over the view-bind payload); a leader cannot claim a newer view
+  /// for the QC than the one it actually formed in.
+  crypto::SignatureSet justify_view_sigs;
   /// Simulation shortcut (SystemConfig::simulate_shared_merkle); see
   /// PrePrepareMsg::post_snapshot. Not serialized.
   merkle::MerkleTree::Snapshot post_snapshot;
@@ -234,6 +238,13 @@ struct LinearVoteMsg : TypedMessage<MessageType::kLinearVote> {
   uint32_t phase = kLinearPhasePrepare;
   crypto::Digest batch_digest;
   crypto::Signature share;
+  /// Prepare phase only: signature over the view-bind payload
+  /// (partition, batch id, digest, view). The leader aggregates a quorum
+  /// of these into the prepare QC so the view a QC formed in is itself
+  /// certified — a byzantine replica cannot inflate its lock view during
+  /// a view change, and a byzantine leader cannot inflate a re-proposal
+  /// justification.
+  crypto::Signature view_share;
 };
 
 /// Leader -> replicas quorum certificate broadcast. `cert` is the batch
@@ -247,6 +258,20 @@ struct LinearQcMsg : TypedMessage<MessageType::kLinearQc> {
   storage::BatchCertificate cert;
   /// Commit phase only: >= 2f+1 signatures over the commit-vote payload.
   crypto::SignatureSet commit_sigs;
+  /// Prepare phase only: >= 2f+1 signatures over the view-bind payload,
+  /// certifying the view this QC formed in (see LinearVoteMsg::view_share).
+  crypto::SignatureSet view_sigs;
+};
+
+/// One prepare-QC lock carried inside a view-change message: the locked
+/// batch, the QC that locked it, the view the QC formed in, and the
+/// quorum of view-bind signatures proving that view claim. With
+/// pipelined consensus a replica may hold one lock per in-flight slot.
+struct LinearLockReport {
+  uint64_t view = 0;
+  storage::Batch batch;
+  storage::BatchCertificate cert;
+  crypto::SignatureSet view_sigs;
 };
 
 /// Replica -> prospective leader of `new_view` when the progress timer
@@ -255,16 +280,15 @@ struct LinearViewChangeMsg : TypedMessage<MessageType::kLinearViewChange> {
   uint64_t new_view = 0;
   BatchId last_committed = kNoBatch;
   crypto::Signature signature;
-  /// Lock report: the sender's prepare QC for the first undecided log
-  /// position, if it holds one. The prospective leader must re-propose
-  /// the batch of the highest-view lock among its 2f+1 view-change
+  /// Lock reports for every undecided slot the sender holds a prepare QC
+  /// for, in slot order. The prospective leader must re-propose, per
+  /// slot, the batch of the highest-view lock among its 2f+1 view-change
   /// messages — a commit quorum in an earlier view implies 2f+1 locked
   /// replicas, so every view-change quorum contains at least one honest
-  /// report of that lock and the decided batch survives the view change.
-  bool has_lock = false;
-  uint64_t lock_view = 0;
-  storage::Batch lock_batch;
-  storage::BatchCertificate lock_cert;
+  /// report of that lock and a batch decided anywhere survives the view
+  /// change. The reported view must be backed by `view_sigs`; an
+  /// inflated claim is dropped.
+  std::vector<LinearLockReport> locks;
 };
 
 /// New leader's QC-carrying announcement: 2f+1 view-change signatures

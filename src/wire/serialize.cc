@@ -157,6 +157,7 @@ void EncodeBody(const LinearProposeMsg& msg, Encoder* enc) {
   if (msg.has_justify) {
     enc->PutU64(msg.justify_view);
     msg.justify_cert.EncodeTo(enc);
+    msg.justify_view_sigs.EncodeTo(enc);
   }
   // post_snapshot intentionally not serialized (simulation shortcut).
 }
@@ -167,6 +168,7 @@ void EncodeBody(const LinearVoteMsg& msg, Encoder* enc) {
   enc->PutU32(msg.phase);
   PutDigest(enc, msg.batch_digest);
   msg.share.EncodeTo(enc);
+  msg.view_share.EncodeTo(enc);
 }
 
 void EncodeBody(const LinearQcMsg& msg, Encoder* enc) {
@@ -174,17 +176,19 @@ void EncodeBody(const LinearQcMsg& msg, Encoder* enc) {
   enc->PutU32(msg.phase);
   msg.cert.EncodeTo(enc);
   msg.commit_sigs.EncodeTo(enc);
+  msg.view_sigs.EncodeTo(enc);
 }
 
 void EncodeBody(const LinearViewChangeMsg& msg, Encoder* enc) {
   enc->PutU64(msg.new_view);
   enc->PutI64(msg.last_committed);
   msg.signature.EncodeTo(enc);
-  enc->PutBool(msg.has_lock);
-  if (msg.has_lock) {
-    enc->PutU64(msg.lock_view);
-    msg.lock_batch.EncodeTo(enc);
-    msg.lock_cert.EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(msg.locks.size()));
+  for (const LinearLockReport& lock : msg.locks) {
+    enc->PutU64(lock.view);
+    lock.batch.EncodeTo(enc);
+    lock.cert.EncodeTo(enc);
+    lock.view_sigs.EncodeTo(enc);
   }
 }
 
@@ -461,6 +465,8 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
           TE_ASSIGN_OR_RETURN(m->justify_view, d->GetU64());
           TE_ASSIGN_OR_RETURN(m->justify_cert,
                               storage::BatchCertificate::DecodeFrom(d));
+          TE_ASSIGN_OR_RETURN(m->justify_view_sigs,
+                              crypto::SignatureSet::DecodeFrom(d));
         }
         return Status::OK();
       });
@@ -471,6 +477,7 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->phase, d->GetU32());
         TE_ASSIGN_OR_RETURN(m->batch_digest, GetDigest(d));
         TE_ASSIGN_OR_RETURN(m->share, crypto::Signature::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->view_share, crypto::Signature::DecodeFrom(d));
         return Status::OK();
       });
     case MessageType::kLinearQc:
@@ -481,6 +488,8 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
                             storage::BatchCertificate::DecodeFrom(d));
         TE_ASSIGN_OR_RETURN(m->commit_sigs,
                             crypto::SignatureSet::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->view_sigs,
+                            crypto::SignatureSet::DecodeFrom(d));
         return Status::OK();
       });
     case MessageType::kLinearViewChange:
@@ -488,12 +497,17 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->new_view, d->GetU64());
         TE_ASSIGN_OR_RETURN(m->last_committed, d->GetI64());
         TE_ASSIGN_OR_RETURN(m->signature, crypto::Signature::DecodeFrom(d));
-        TE_ASSIGN_OR_RETURN(m->has_lock, d->GetBool());
-        if (m->has_lock) {
-          TE_ASSIGN_OR_RETURN(m->lock_view, d->GetU64());
-          TE_ASSIGN_OR_RETURN(m->lock_batch, storage::Batch::DecodeFrom(d));
-          TE_ASSIGN_OR_RETURN(m->lock_cert,
+        uint32_t lock_count = 0;
+        TE_ASSIGN_OR_RETURN(lock_count, d->GetU32());
+        for (uint32_t i = 0; i < lock_count; ++i) {
+          LinearLockReport lock;
+          TE_ASSIGN_OR_RETURN(lock.view, d->GetU64());
+          TE_ASSIGN_OR_RETURN(lock.batch, storage::Batch::DecodeFrom(d));
+          TE_ASSIGN_OR_RETURN(lock.cert,
                               storage::BatchCertificate::DecodeFrom(d));
+          TE_ASSIGN_OR_RETURN(lock.view_sigs,
+                              crypto::SignatureSet::DecodeFrom(d));
+          m->locks.push_back(std::move(lock));
         }
         return Status::OK();
       });

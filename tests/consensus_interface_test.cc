@@ -56,8 +56,14 @@ std::vector<std::pair<Key, Value>> TestData(uint32_t partitions) {
 /// read-modify-write chain, distributed cross-partition writes) under
 /// `kind` and returns the final committed state of every touched key,
 /// after asserting all replicas of the owning cluster agree on it.
-std::map<Key, std::string> RunWorkload(ConsensusKind kind, uint64_t seed) {
+std::map<Key, std::string> RunWorkload(ConsensusKind kind, uint64_t seed,
+                                       uint32_t pipeline_depth = 1,
+                                       bool async_apply = false,
+                                       uint32_t apply_shards = 1) {
   SystemConfig config = BaseConfig(kind);
+  config.pipeline_depth = pipeline_depth;
+  config.async_apply = async_apply;
+  config.apply_shards = apply_shards;
   System system(config, FastEnv(seed));
   auto data = TestData(config.num_partitions);
   system.Preload(data);
@@ -164,6 +170,37 @@ TEST(ConsensusInterfaceTest, CommittedStateIsIdenticalAcrossEngines) {
         RunWorkload(ConsensusKind::kLinearVote, seed);
     EXPECT_EQ(linear, pbft) << "engines diverged at seed " << seed;
   }
+}
+
+// Pipelining and asynchronous/sharded apply are pure scheduling changes:
+// whatever combination of consensus_kind × pipeline_depth × apply mode
+// runs the workload, the committed state must match the strictly
+// sequential PBFT baseline.
+TEST(ConsensusInterfaceTest, CommittedStateIsInvariantAcrossDepthsAndApplyModes) {
+  const uint64_t seed = 7;
+  std::map<Key, std::string> reference =
+      RunWorkload(ConsensusKind::kPbft, seed);
+  ASSERT_FALSE(reference.empty());
+
+  struct Case {
+    uint32_t depth;
+    bool async;
+    uint32_t shards;
+  };
+  for (const Case& c : {Case{1, false, 1}, Case{1, true, 1}, Case{2, true, 1},
+                        Case{4, true, 1}, Case{4, true, 4}}) {
+    std::map<Key, std::string> state = RunWorkload(
+        ConsensusKind::kLinearVote, seed, c.depth, c.async, c.shards);
+    EXPECT_EQ(state, reference)
+        << "linear diverged at depth=" << c.depth << " async=" << c.async
+        << " shards=" << c.shards;
+  }
+
+  // The PBFT engine pins MaxPipelineDepth at 1: a config asking for a
+  // deep pipeline must degrade to the sequential schedule, not misbehave.
+  EXPECT_EQ(RunWorkload(ConsensusKind::kPbft, seed, /*pipeline_depth=*/4,
+                        /*async_apply=*/true),
+            reference);
 }
 
 // ---------------------------------------------------------------------------
@@ -335,6 +372,149 @@ TEST_F(LinearVoteTest, DelayedCommitQcDoesNotForkTheLog) {
             << "fork at batch " << id << " between replicas " << i << " and "
             << j;
       }
+    }
+  }
+}
+
+// The pipelined generalisation of DelayedCommitQcDoesNotForkTheLog: with
+// depth k the view-0 leader may have decided *several* batches whose
+// commit QCs never reached the replicas. The per-slot locks carried
+// through the view change must make the new leader re-propose the whole
+// in-flight prefix — any slot it fabricated instead would fork the old
+// leader's log.
+class PipelinedForkTest : public ::testing::TestWithParam<uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(Depths, PipelinedForkTest, ::testing::Values(2u, 4u));
+
+TEST_P(PipelinedForkTest, DelayedCommitQcMidWindowDoesNotFork) {
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  config.pipeline_depth = GetParam();
+  config.async_apply = true;
+  System system(config, FastEnv());
+  auto data = TestData(1);
+  system.Preload(data);
+
+  const crypto::NodeId first_leader = config.ReplicaNode(0, 0);
+  system.env().network().SetLinkFilter(
+      [first_leader](sim::ActorId from, sim::ActorId,
+                     const sim::MessagePtr& msg) {
+        if (from != first_leader) return true;
+        if (static_cast<wire::MessageType>(msg->type()) !=
+            wire::MessageType::kLinearQc) {
+          return true;
+        }
+        return static_cast<const wire::LinearQcMsg&>(*msg).phase !=
+               wire::kLinearPhaseCommit;
+      });
+  system.Start();
+
+  // Enough independent writers that the leader keeps the pipeline full
+  // while the commit QCs silently vanish.
+  Client* client = system.AddClient();
+  int committed = 0;
+  system.env().Schedule(sim::Millis(30), [&] {
+    for (int i = 0; i < 8; ++i) {
+      client->ExecuteReadWrite(
+          {}, {WriteOp{data[static_cast<size_t>(i)].first, ToBytes("mw")}},
+          [&](RwResult r) {
+            if (r.committed) ++committed;
+          });
+    }
+  });
+  system.env().RunUntil(sim::Seconds(30));
+
+  EXPECT_GT(committed, 0);
+  const uint32_t n = config.replicas_per_cluster();
+  bool view_advanced = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (system.node(0, i)->view() > 0) view_advanced = true;
+    ASSERT_GT(system.node(0, i)->log().size(), 0u) << "replica " << i;
+  }
+  EXPECT_TRUE(view_advanced);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const auto& a = system.node(0, i)->log();
+      const auto& b = system.node(0, j)->log();
+      BatchId common = std::min(a.LastBatchId(), b.LastBatchId());
+      for (BatchId id = 0; id <= common; ++id) {
+        EXPECT_EQ(a.Get(id).value()->batch.ComputeDigest(),
+                  b.Get(id).value()->batch.ComputeDigest())
+            << "fork at batch " << id << " between replicas " << i << " and "
+            << j << " at depth " << GetParam();
+      }
+    }
+  }
+}
+
+// A byzantine replica reports its (real) locks with inflated view
+// numbers during the view change, trying to outrank genuinely newer
+// locks. The view-bind quorum embedded in each prepare QC certifies the
+// true view, so the new leader drops the inflated reports and the
+// cluster converges on the honestly locked batches.
+TEST_F(LinearVoteTest, InflatedLockViewReportCannotHijackViewChange) {
+  SystemConfig config = BaseConfig(ConsensusKind::kLinearVote,
+                                   /*partitions=*/1);
+  config.pipeline_depth = 2;
+  System system(config, FastEnv());
+  auto data = TestData(1);
+  system.Preload(data);
+
+  // Replicas lock (prepare QCs arrive) but never decide (commit QCs are
+  // dropped), so the view change happens with live locks to report.
+  const crypto::NodeId first_leader = config.ReplicaNode(0, 0);
+  system.env().network().SetLinkFilter(
+      [first_leader](sim::ActorId from, sim::ActorId,
+                     const sim::MessagePtr& msg) {
+        if (from != first_leader) return true;
+        if (static_cast<wire::MessageType>(msg->type()) !=
+            wire::MessageType::kLinearQc) {
+          return true;
+        }
+        return static_cast<const wire::LinearQcMsg&>(*msg).phase !=
+               wire::kLinearPhaseCommit;
+      });
+  system.Start();
+  system.node(0, 2)->SetByzantineBehavior(
+      core::ByzantineBehavior::kInflateLockView);
+
+  Client* client = system.AddClient();
+  std::optional<RwResult> result;
+  system.env().Schedule(sim::Millis(30), [&] {
+    client->ExecuteReadWrite({}, {WriteOp{data[0].first, ToBytes("honest")}},
+                             [&](RwResult r) { result = std::move(r); });
+  });
+  system.env().RunUntil(sim::Seconds(30));
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->committed) << result->reason;
+  const uint32_t n = config.replicas_per_cluster();
+  bool view_advanced = false;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (system.node(0, i)->view() > 0) view_advanced = true;
+  }
+  EXPECT_TRUE(view_advanced);
+  // No fork, and every logged certificate still verifies at quorum size.
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const auto& a = system.node(0, i)->log();
+      const auto& b = system.node(0, j)->log();
+      BatchId common = std::min(a.LastBatchId(), b.LastBatchId());
+      for (BatchId id = 0; id <= common; ++id) {
+        EXPECT_EQ(a.Get(id).value()->batch.ComputeDigest(),
+                  b.Get(id).value()->batch.ComputeDigest())
+            << "fork at batch " << id;
+      }
+    }
+  }
+  for (uint32_t i = 1; i < n; ++i) {
+    const auto& log = system.node(0, i)->log();
+    for (BatchId b = 0; b <= log.LastBatchId(); ++b) {
+      EXPECT_TRUE(log.Get(b)
+                      .value()
+                      ->certificate
+                      .Verify(system.verifier(), config.certificate_size(),
+                              config.ClusterMembers(0))
+                      .ok());
     }
   }
 }

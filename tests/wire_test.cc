@@ -261,23 +261,35 @@ TEST(WireTest, LinearVoteMessagesRoundTrip) {
   ASSERT_NE(lvc, nullptr);
   EXPECT_EQ(lvc->new_view, 4u);
   EXPECT_EQ(lvc->last_committed, 8);
-  EXPECT_FALSE(lvc->has_lock);
+  EXPECT_TRUE(lvc->locks.empty());
 
-  // A locked replica reports its prepare QC with the view change.
-  vc.has_lock = true;
-  vc.lock_view = 3;
-  vc.lock_batch.partition = 1;
-  vc.lock_batch.id = 9;
-  vc.lock_batch.local = {SampleTxn()};
-  vc.lock_cert = SampleCert();
+  // A locked replica reports its prepare QCs (one per in-flight slot)
+  // with the view change, each carrying the QC's view-bind quorum.
+  LinearLockReport report;
+  report.view = 3;
+  report.batch.partition = 1;
+  report.batch.id = 9;
+  report.batch.local = {SampleTxn()};
+  report.cert = SampleCert();
+  report.view_sigs.Add(crypto::Signature{1, D("vb1")});
+  report.view_sigs.Add(crypto::Signature{2, D("vb2")});
+  vc.locks.push_back(report);
+  report.view = 4;
+  report.batch.id = 10;
+  vc.locks.push_back(report);
   auto locked = RoundTrip(vc);
   ASSERT_NE(locked, nullptr);
-  ASSERT_TRUE(locked->has_lock);
-  EXPECT_EQ(locked->lock_view, 3u);
-  EXPECT_EQ(locked->lock_batch.id, 9);
-  ASSERT_EQ(locked->lock_batch.local.size(), 1u);
-  EXPECT_EQ(locked->lock_batch.local[0], vc.lock_batch.local[0]);
-  EXPECT_EQ(locked->lock_cert.batch_id, vc.lock_cert.batch_id);
+  ASSERT_EQ(locked->locks.size(), 2u);
+  EXPECT_EQ(locked->locks[0].view, 3u);
+  EXPECT_EQ(locked->locks[0].batch.id, 9);
+  ASSERT_EQ(locked->locks[0].batch.local.size(), 1u);
+  EXPECT_EQ(locked->locks[0].batch.local[0], vc.locks[0].batch.local[0]);
+  EXPECT_EQ(locked->locks[0].cert.batch_id, vc.locks[0].cert.batch_id);
+  ASSERT_EQ(locked->locks[0].view_sigs.size(), 2u);
+  EXPECT_EQ(locked->locks[0].view_sigs.signatures[1],
+            vc.locks[0].view_sigs.signatures[1]);
+  EXPECT_EQ(locked->locks[1].view, 4u);
+  EXPECT_EQ(locked->locks[1].batch.id, 10);
 
   LinearNewViewMsg nv;
   nv.new_view = 4;
