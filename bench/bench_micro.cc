@@ -5,7 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "crypto/signer.h"
@@ -102,8 +102,8 @@ void BM_ConflictCheck(benchmark::State& state) {
 BENCHMARK(BM_ConflictCheck);
 
 void BM_CdVectorPairwiseMax(benchmark::State& state) {
-  core::CdVector a(static_cast<size_t>(state.range(0)));
-  core::CdVector b(static_cast<size_t>(state.range(0)));
+  txn::CdVector a(static_cast<size_t>(state.range(0)));
+  txn::CdVector b(static_cast<size_t>(state.range(0)));
   for (PartitionId p = 0; p < state.range(0); ++p) {
     b.Set(p, static_cast<BatchId>(p * 3));
   }

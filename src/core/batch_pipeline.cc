@@ -4,9 +4,10 @@
 #include <set>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "core/batch_apply.h"
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 
 namespace transedge::core {
 
@@ -224,16 +225,16 @@ storage::Batch BuildBatchFromSegments(NodeContext* ctx,
   // continues from the newest pending batch, and groups it already
   // committed are excluded.
   BatchId lce;
-  CdVector cd;
+  txn::CdVector cd;
   if (!chain.pending.empty()) {
     lce = chain.pending.back()->ro.lce;
     cd = chain.pending.back()->ro.cd_vector;
   } else {
     lce = log.empty() ? kNoBatch : log.back().batch.ro.lce;
-    cd = log.empty() ? CdVector(ctx->config().num_partitions)
+    cd = log.empty() ? txn::CdVector(ctx->config().num_partitions)
                      : log.back().batch.ro.cd_vector;
   }
-  if (cd.empty()) cd = CdVector(ctx->config().num_partitions);
+  if (cd.empty()) cd = txn::CdVector(ctx->config().num_partitions);
 
   std::set<BatchId> window_committed = WindowCommittedGroups(chain);
   for (const txn::PrepareGroup* group :
@@ -375,7 +376,14 @@ void BatchPipeline::OnViewChange() {
   // with a retryable abort (they re-issue against the new leader with the
   // same transaction id) instead of leaving them to hang.
   sim::Time at = ctx_->busy_until();
-  for (const auto& [txn_id, client] : local_waiting_clients_) {
+  // Drain in TxnId order: local_waiting_clients_ is an unordered_map, and
+  // the abort replies are externally visible messages — iterating the map
+  // directly would make reply order (and thus the whole downstream event
+  // schedule) depend on the hash implementation.
+  std::vector<std::pair<TxnId, sim::ActorId>> waiting(
+      local_waiting_clients_.begin(), local_waiting_clients_.end());
+  std::sort(waiting.begin(), waiting.end());
+  for (const auto& [txn_id, client] : waiting) {
     ctx_->ReplyCommit(client, txn_id, false, "view change", at,
                       /*retryable=*/true);
   }

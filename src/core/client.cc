@@ -182,6 +182,8 @@ void Client::FinishRw(uint64_t op_id, RwResult result) {
   RwOp op = std::move(op_it->second);
   rw_ops_.erase(op_it);
   txn_op_.erase(op.txn_id);
+  // check:allow(unordered-iter): only erases point entries from
+  // request_op_; no externally visible effect depends on iteration order.
   for (const auto& [req, key] : op.read_request_keys) request_op_.erase(req);
   if (result.committed) {
     ++stats_.rw_committed;
@@ -201,6 +203,8 @@ bool Client::RetryRw(uint64_t op_id) {
   op.commit_sent = false;
   op.reads.clear();
   op.reads_outstanding = 0;
+  // check:allow(unordered-iter): only erases point entries from
+  // request_op_; no externally visible effect depends on iteration order.
   for (const auto& [req, key] : op.read_request_keys) {
     request_op_.erase(req);
   }
@@ -329,11 +333,11 @@ std::map<PartitionId, BatchId> Client::VerifyDependencies(
     const std::map<PartitionId, wire::RoReply>& replies) const {
   // Algorithm 2: for every pair of accessed partitions (i, j), the
   // dependency V_i[j] must be covered by partition j's LCE.
-  std::map<PartitionId, RoPartitionView> views;
+  std::map<PartitionId, txn::RoPartitionView> views;
   for (const auto& [partition, reply] : replies) {
-    views[partition] = RoPartitionView{reply.cd_vector, reply.lce};
+    views[partition] = txn::RoPartitionView{reply.cd_vector, reply.lce};
   }
-  return ComputeUnsatisfiedDependencies(views);
+  return txn::ComputeUnsatisfiedDependencies(views);
 }
 
 void Client::HandleRoReply(const wire::RoReply& msg) {

@@ -9,7 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 #include "core/config.h"
 #include "crypto/signer.h"
 #include "sim/environment.h"

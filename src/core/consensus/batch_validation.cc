@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/batch_apply.h"
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 #include "core/footprint_index.h"
 #include "txn/prepared_batches.h"
 
@@ -181,14 +181,14 @@ Status ValidateProposedBatch(NodeContext* ctx, const storage::Batch& batch,
   }
 
   // CD vector: re-run Algorithm 1 and compare.
-  CdVector cd;
+  txn::CdVector cd;
   if (!pending.empty()) {
     cd = pending.back()->ro.cd_vector;
   } else {
-    cd = log.empty() ? CdVector(config.num_partitions)
+    cd = log.empty() ? txn::CdVector(config.num_partitions)
                      : log.back().batch.ro.cd_vector;
   }
-  if (cd.empty()) cd = CdVector(config.num_partitions);
+  if (cd.empty()) cd = txn::CdVector(config.num_partitions);
   for (const storage::CommitRecord& rec : batch.committed) {
     if (!rec.committed) continue;
     for (const storage::PreparedInfo& info : rec.participant_info) {

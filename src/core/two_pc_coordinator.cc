@@ -37,7 +37,7 @@ void TwoPcCoordinator::HandleCoordPrepare(sim::ActorId from,
     reply.info.partition = ctx_->partition();
     reply.info.prepared_in_batch = kNoBatch;
     reply.info.vote = false;
-    reply.info.cd_vector = CdVector(ctx_->config().num_partitions);
+    reply.info.cd_vector = txn::CdVector(ctx_->config().num_partitions);
     ctx_->SendToCluster(msg.coordinator, ShareMsg(std::move(reply)),
                         ctx_->busy_until());
     return;

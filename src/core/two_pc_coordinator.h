@@ -90,7 +90,9 @@ class TwoPcCoordinator {
   NodeContext* ctx_;
   Hooks hooks_;
 
-  std::unordered_map<TxnId, CoordinatorTxn> coord_txns_;
+  /// Ordered by TxnId: OnViewChange drains this map emitting client
+  /// abort replies, so iteration order must be deterministic.
+  std::map<TxnId, CoordinatorTxn> coord_txns_;
   std::unordered_set<TxnId> participant_pending_;  // We prepared, not coord.
   /// Transactions this (new) leader unilaterally aborted on view
   /// adoption, kept so the abort's commit record can still be fanned out

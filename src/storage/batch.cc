@@ -14,7 +14,7 @@ Result<PreparedInfo> PreparedInfo::DecodeFrom(Decoder* dec) {
   TE_ASSIGN_OR_RETURN(info.partition, dec->GetU32());
   TE_ASSIGN_OR_RETURN(info.prepared_in_batch, dec->GetI64());
   TE_ASSIGN_OR_RETURN(info.vote, dec->GetBool());
-  TE_ASSIGN_OR_RETURN(info.cd_vector, core::CdVector::DecodeFrom(dec));
+  TE_ASSIGN_OR_RETURN(info.cd_vector, txn::CdVector::DecodeFrom(dec));
   return info;
 }
 
@@ -49,7 +49,7 @@ void ReadOnlySegment::EncodeTo(Encoder* enc) const {
 
 Result<ReadOnlySegment> ReadOnlySegment::DecodeFrom(Decoder* dec) {
   ReadOnlySegment seg;
-  TE_ASSIGN_OR_RETURN(seg.cd_vector, core::CdVector::DecodeFrom(dec));
+  TE_ASSIGN_OR_RETURN(seg.cd_vector, txn::CdVector::DecodeFrom(dec));
   TE_ASSIGN_OR_RETURN(seg.lce, dec->GetI64());
   TE_ASSIGN_OR_RETURN(Bytes raw, dec->GetRaw(32));
   std::copy(raw.begin(), raw.end(), seg.merkle_root.bytes.begin());

@@ -6,7 +6,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 #include "crypto/sha256.h"
 #include "crypto/signer.h"
 #include "txn/types.h"
@@ -22,7 +22,7 @@ struct PreparedInfo {
   PartitionId partition = 0;
   BatchId prepared_in_batch = kNoBatch;
   bool vote = false;
-  core::CdVector cd_vector;
+  txn::CdVector cd_vector;
 
   void EncodeTo(Encoder* enc) const;
   static Result<PreparedInfo> DecodeFrom(Decoder* dec);
@@ -49,7 +49,7 @@ struct CommitRecord {
 /// Merkle root certifying the post-batch state, and a freshness
 /// timestamp (§4.4.2).
 struct ReadOnlySegment {
-  core::CdVector cd_vector;
+  txn::CdVector cd_vector;
   BatchId lce = kNoBatch;
   crypto::Digest merkle_root;
   /// Leader-claimed wall-clock (simulated) microseconds; replicas reject

@@ -1,9 +1,9 @@
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 
 #include <algorithm>
 #include <cassert>
 
-namespace transedge::core {
+namespace transedge::txn {
 
 void CdVector::PairwiseMax(const CdVector& other) {
   assert(deps_.size() == other.deps_.size());
@@ -63,4 +63,4 @@ std::string CdVector::ToString() const {
   return out;
 }
 
-}  // namespace transedge::core
+}  // namespace transedge::txn

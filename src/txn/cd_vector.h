@@ -1,5 +1,5 @@
-#ifndef TRANSEDGE_CORE_CD_VECTOR_H_
-#define TRANSEDGE_CORE_CD_VECTOR_H_
+#ifndef TRANSEDGE_TXN_CD_VECTOR_H_
+#define TRANSEDGE_TXN_CD_VECTOR_H_
 
 #include <map>
 #include <string>
@@ -9,7 +9,7 @@
 #include "common/result.h"
 #include "txn/types.h"
 
-namespace transedge::core {
+namespace transedge::txn {
 
 /// Conflict-Dependency vector (§3.4, §4.3.3): for every partition, the
 /// batch number this state depends on.
@@ -70,6 +70,6 @@ struct RoPartitionView {
 std::map<PartitionId, BatchId> ComputeUnsatisfiedDependencies(
     const std::map<PartitionId, RoPartitionView>& views);
 
-}  // namespace transedge::core
+}  // namespace transedge::txn
 
-#endif  // TRANSEDGE_CORE_CD_VECTOR_H_
+#endif  // TRANSEDGE_TXN_CD_VECTOR_H_

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 #include "crypto/signer.h"
 #include "merkle/merkle_tree.h"
 #include "sim/actor.h"
@@ -128,7 +128,7 @@ struct RoReply : TypedMessage<MessageType::kRoReply> {
   BatchId batch_id = kNoBatch;
   std::vector<AuthenticatedRead> entries;
   storage::BatchCertificate certificate;
-  core::CdVector cd_vector;
+  txn::CdVector cd_vector;
   BatchId lce = kNoBatch;
   int64_t timestamp_us = 0;
   /// True when this reply answers a second-round (historical) request.
@@ -160,6 +160,7 @@ struct PrePrepareMsg : TypedMessage<MessageType::kPrePrepare> {
   /// leader's post-batch tree, shared structurally so honest followers
   /// skip re-hashing identical updates. Invalid when the shortcut is
   /// disabled.
+  // check:allow(wire-parity): simulation-only shortcut, never serialized.
   merkle::MerkleTree::Snapshot post_snapshot;
 };
 
@@ -188,6 +189,8 @@ struct ViewChangeMsg : TypedMessage<MessageType::kViewChange> {
 
 /// New leader's announcement; re-proposals follow as ordinary
 /// pre-prepares in the new view.
+// check:allow(wire-parity): intra-simulation only — never serialized
+// (EncodeMessage emits the bare discriminator, DecodeMessage rejects it).
 struct NewViewMsg : TypedMessage<MessageType::kNewView> {
   uint64_t new_view = 0;
   std::vector<ViewChangeMsg> proof;  // 2f+1 view-change votes
@@ -220,6 +223,7 @@ struct LinearProposeMsg : TypedMessage<MessageType::kLinearPropose> {
   crypto::SignatureSet justify_view_sigs;
   /// Simulation shortcut (SystemConfig::simulate_shared_merkle); see
   /// PrePrepareMsg::post_snapshot. Not serialized.
+  // check:allow(wire-parity): simulation-only shortcut, never serialized.
   merkle::MerkleTree::Snapshot post_snapshot;
 };
 

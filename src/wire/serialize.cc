@@ -408,7 +408,7 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         }
         TE_ASSIGN_OR_RETURN(m->certificate,
                             storage::BatchCertificate::DecodeFrom(d));
-        TE_ASSIGN_OR_RETURN(m->cd_vector, core::CdVector::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->cd_vector, txn::CdVector::DecodeFrom(d));
         TE_ASSIGN_OR_RETURN(m->lce, d->GetI64());
         TE_ASSIGN_OR_RETURN(m->timestamp_us, d->GetI64());
         TE_ASSIGN_OR_RETURN(m->second_round, d->GetBool());

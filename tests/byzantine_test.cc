@@ -218,7 +218,7 @@ TEST(ByzantineTest, ForgedCertificateRejectedByClientLogic) {
   storage::Batch fake;
   fake.partition = 0;
   fake.id = 3;
-  fake.ro.cd_vector = core::CdVector(1);
+  fake.ro.cd_vector = txn::CdVector(1);
   fake.ro.lce = 2;
   fake.ro.merkle_root = crypto::Sha256::Hash(std::string_view("fake"));
   storage::BatchCertificate cert;

@@ -5,9 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
-#include "core/cd_vector.h"
+#include "txn/cd_vector.h"
 
-namespace transedge::core {
+namespace transedge::txn {
 namespace {
 
 TEST(CdVectorTest, StartsWithNoDependencies) {
@@ -125,4 +125,4 @@ INSTANTIATE_TEST_SUITE_P(PartitionCounts, CdVectorFoldTest,
                          ::testing::Values(1, 2, 3, 5, 8, 16));
 
 }  // namespace
-}  // namespace transedge::core
+}  // namespace transedge::txn

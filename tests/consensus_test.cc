@@ -139,7 +139,9 @@ TEST(ConsensusTest, NoProgressBeyondFCrashes) {
   system.env().RunUntil(sim::Seconds(10));
   // The client request eventually fails; no batch beyond (possibly) none
   // was certified.
-  if (result.has_value()) EXPECT_FALSE(result->committed);
+  if (result.has_value()) {
+    EXPECT_FALSE(result->committed);
+  }
   EXPECT_EQ(system.node(0, 0)->log().size(), 0u);
 }
 

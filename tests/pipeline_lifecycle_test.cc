@@ -32,7 +32,8 @@ struct Fixture {
   storage::PartitionMap pmap;
 
   explicit Fixture(uint32_t partitions = 1, uint32_t f = 1,
-                   uint32_t pipeline_shards = 1)
+                   uint32_t pipeline_shards = 1, uint64_t seed = 77,
+                   sim::Time latency_jitter = sim::Micros(100))
       : pmap(partitions) {
     config.num_partitions = partitions;
     config.f = f;
@@ -41,8 +42,9 @@ struct Fixture {
     config.merkle_depth = 8;
     config.pipeline_shards = pipeline_shards;
     sim::EnvironmentOptions env_opts;
-    env_opts.seed = 77;
+    env_opts.seed = seed;
     env_opts.inter_site_latency = sim::Millis(1);
+    env_opts.latency_jitter = latency_jitter;
     system = std::make_unique<System>(config, env_opts);
     workload::WorkloadOptions wopts;
     wopts.num_keys = 200;
@@ -348,7 +350,9 @@ TEST(AsyncApplyTest, ShardedApplyConvergesToSameStateAsSerial) {
       for (const auto& [key, value] : state) {
         auto v = node->store().Get(key);
         EXPECT_TRUE(v.ok());
-        if (v.ok()) EXPECT_EQ(ToString(v->value), value) << "replica " << r;
+        if (v.ok()) {
+          EXPECT_EQ(ToString(v->value), value) << "replica " << r;
+        }
       }
     }
     return state;
@@ -358,6 +362,80 @@ TEST(AsyncApplyTest, ShardedApplyConvergesToSameStateAsSerial) {
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(run(4), serial);
   EXPECT_EQ(run(8), serial);
+}
+
+// ---------------------------------------------------------------------------
+// View-change abort drain: reply order must be deterministic
+// ---------------------------------------------------------------------------
+
+// Probe recording client-facing commit replies in arrival order.
+struct CommitReplyProbe : sim::Actor {
+  std::vector<wire::CommitReply> replies;
+  void OnMessage(sim::ActorId, const sim::MessagePtr& msg) override {
+    if (static_cast<wire::MessageType>(msg->type()) ==
+        wire::MessageType::kCommitReply) {
+      replies.push_back(static_cast<const wire::CommitReply&>(*msg));
+    }
+  }
+};
+
+// Parks `count` admissions (scrambled TxnIds) at a stalled leader, lets
+// the view change abort them all, and returns the TxnIds in the order
+// the abort replies arrived.
+std::vector<TxnId> AbortDrainOrder(uint64_t seed, size_t count) {
+  // Zero link jitter: all abort replies leave at the same instant, so
+  // arrival order at the probe is exactly the leader's send order (the
+  // event queue breaks timestamp ties by insertion) — the thing the
+  // sorted drain must make deterministic.
+  Fixture fx(/*partitions=*/1, /*f=*/2, /*pipeline_shards=*/1, seed,
+             /*latency_jitter=*/0);
+  fx.system->node(0, 0)->SetByzantineBehavior(
+      core::ByzantineBehavior::kEquivocate);
+
+  CommitReplyProbe probe;
+  sim::ActorId probe_id = fx.config.ClientNode(1002);
+  fx.system->env().network().Register(probe_id, /*site=*/0, &probe);
+
+  fx.system->env().Schedule(sim::Millis(30), [&] {
+    for (size_t i = 0; i < count; ++i) {
+      // Scrambled submission order: (i * 5) mod count visits every
+      // residue once for count coprime with 5.
+      uint32_t k = static_cast<uint32_t>((i * 5) % count);
+      wire::CommitRequest req;
+      req.reply_to = probe_id;
+      req.txn.id = MakeTxnId(2000 + k, 1);
+      req.txn.write_set = {WriteOp{fx.KeyIn(0, k), ToBytes("w")}};
+      req.txn.participants = {0};
+      fx.system->env().network().Send(probe_id, fx.system->leader(0)->id(),
+                                      core::ShareMsg(std::move(req)));
+    }
+  });
+  fx.system->env().RunUntil(sim::Seconds(2));
+
+  std::vector<TxnId> order;
+  for (const wire::CommitReply& reply : probe.replies) {
+    EXPECT_FALSE(reply.committed);
+    EXPECT_TRUE(reply.retryable) << reply.reason;
+    order.push_back(reply.txn_id);
+  }
+  return order;
+}
+
+// local_waiting_clients_ is an unordered_map; draining it directly on a
+// view change would emit the abort replies — externally visible
+// messages — in hash-table order, forking the downstream event schedule
+// between hash implementations. The drain must sort by TxnId first, so
+// the reply sequence is identical run to run and seed to seed.
+TEST(ViewChangeAbortOrderTest, AbortRepliesDrainInTxnIdOrder) {
+  std::vector<TxnId> order = AbortDrainOrder(/*seed=*/77, /*count=*/8);
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+
+  // Same seed: bit-identical replay.
+  EXPECT_EQ(AbortDrainOrder(/*seed=*/77, /*count=*/8), order);
+  // Different network seed: timing jitter differs, the drain order must
+  // not (same scrambled ids, still TxnId-sorted).
+  EXPECT_EQ(AbortDrainOrder(/*seed=*/1234, /*count=*/8), order);
 }
 
 }  // namespace

@@ -13,8 +13,8 @@ namespace transedge {
 namespace {
 
 using core::Client;
-using core::ComputeUnsatisfiedDependencies;
-using core::RoPartitionView;
+using txn::ComputeUnsatisfiedDependencies;
+using txn::RoPartitionView;
 using core::RoResult;
 using core::RwResult;
 using core::System;
@@ -22,8 +22,8 @@ using core::SystemConfig;
 
 // --- Algorithm 2 at the unit level -------------------------------------------
 
-core::CdVector Cd(std::vector<BatchId> entries) {
-  core::CdVector v(entries.size());
+txn::CdVector Cd(std::vector<BatchId> entries) {
+  txn::CdVector v(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
     v.Set(static_cast<PartitionId>(i), entries[i]);
   }
@@ -406,7 +406,9 @@ TEST_P(RoConsistencySeedTest, PairedWritesConsistentUnderSeed) {
       ASSERT_TRUE(r.status.ok());
       std::string x = ToString(*r.values[kx]);
       std::string y = ToString(*r.values[ky]);
-      if (x.starts_with("v") || y.starts_with("v")) EXPECT_EQ(x, y);
+      if (x.starts_with("v") || y.starts_with("v")) {
+        EXPECT_EQ(x, y);
+      }
       EXPECT_FALSE(r.needed_third_round);
       ++reads;
       (*read_loop)();

@@ -183,12 +183,12 @@ Batch SampleBatch() {
   info.partition = 1;
   info.prepared_in_batch = 4;
   info.vote = true;
-  info.cd_vector = core::CdVector(3);
+  info.cd_vector = txn::CdVector(3);
   info.cd_vector.Set(1, 4);
   rec.participant_info.push_back(info);
   batch.committed.push_back(rec);
 
-  batch.ro.cd_vector = core::CdVector(3);
+  batch.ro.cd_vector = txn::CdVector(3);
   batch.ro.cd_vector.Set(2, 7);
   batch.ro.cd_vector.Set(1, 4);
   batch.ro.lce = 5;

@@ -106,7 +106,7 @@ TEST(WireTest, RoReplyRoundTripWithProofs) {
   read.proof = tree.Prove("x").value();
   msg.entries.push_back(read);
   msg.certificate = SampleCert();
-  msg.cd_vector = core::CdVector(3);
+  msg.cd_vector = txn::CdVector(3);
   msg.cd_vector.Set(0, 11);
   msg.lce = 2;
   msg.timestamp_us = 123456789;
@@ -132,7 +132,7 @@ TEST(WireTest, PrePrepareRoundTrip) {
   msg.batch.partition = 1;
   msg.batch.id = 0;
   msg.batch.local.push_back(SampleTxn());
-  msg.batch.ro.cd_vector = core::CdVector(2);
+  msg.batch.ro.cd_vector = txn::CdVector(2);
   msg.leader_signature = crypto::Signature{1, D("sig")};
   msg.leader_cert_share = crypto::Signature{1, D("share")};
   auto decoded = RoundTrip(msg);
@@ -155,7 +155,7 @@ TEST(WireTest, TwoPcMessagesRoundTrip) {
   prepared.info.partition = 1;
   prepared.info.prepared_in_batch = 6;
   prepared.info.vote = true;
-  prepared.info.cd_vector = core::CdVector(3);
+  prepared.info.cd_vector = txn::CdVector(3);
   prepared.proof = SampleCert();
   auto prepared_decoded = RoundTrip(prepared);
   ASSERT_NE(prepared_decoded, nullptr);
@@ -393,7 +393,7 @@ TEST_P(WireFuzzTest, MutatedValidMessagesNeverCrash) {
   msg.partition = 2;
   msg.batch_id = 4;
   msg.certificate = SampleCert();
-  msg.cd_vector = core::CdVector(3);
+  msg.cd_vector = txn::CdVector(3);
   Bytes encoded = EncodeMessage(msg);
 
   Rng rng(GetParam() * 31);

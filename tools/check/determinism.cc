@@ -1,0 +1,229 @@
+#include "check/determinism.h"
+
+#include <set>
+#include <vector>
+
+namespace transedge::check {
+
+namespace {
+
+constexpr const char* kUnorderedIter = "unordered-iter";
+constexpr const char* kBannedCall = "banned-call";
+
+/// Identifiers that are nondeterministic (wall clock / ambient
+/// randomness) wherever they appear.
+const std::set<std::string>& BannedIdentifiers() {
+  static const std::set<std::string> kBanned = {
+      "system_clock",         "steady_clock", "high_resolution_clock",
+      "random_device",        "mt19937",      "mt19937_64",
+      "default_random_engine", "drand48",     "clock_gettime",
+      "gettimeofday",
+  };
+  return kBanned;
+}
+
+/// Identifiers banned only as direct calls (`rand()`, `time(nullptr)`),
+/// so field/member names like `timestamp_us` or `.time()` accessors on
+/// simulated objects never trip the rule.
+const std::set<std::string>& BannedCalls() {
+  static const std::set<std::string> kBannedCalls = {"rand", "srand", "time",
+                                                     "clock"};
+  return kBannedCalls;
+}
+
+bool PathExemptFromBannedCalls(const std::string& rel_path) {
+  // The seeded generator implementation and the simulator own all
+  // randomness/virtual time.
+  if (rel_path.rfind("src/common/rng.", 0) == 0) return true;
+  if (rel_path.rfind("src/sim/", 0) == 0) return true;
+  return false;
+}
+
+/// Collects names declared with an unordered container type in `file`:
+/// members, locals, and parameters alike. The next identifier after the
+/// balanced `unordered_map<...>` / `unordered_set<...>` template
+/// argument list (skipping `&`, `*`, `const`) is the declared name.
+void CollectUnorderedNames(const SourceFile& file,
+                           std::set<std::string>* names) {
+  const std::vector<Token>& toks = file.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "unordered_map" && t != "unordered_set" &&
+        t != "unordered_multimap" && t != "unordered_multiset") {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">") {
+        if (--depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && !toks[j].text.empty() &&
+        (std::isalpha(static_cast<unsigned char>(toks[j].text[0])) ||
+         toks[j].text[0] == '_')) {
+      names->insert(toks[j].text);
+    }
+  }
+}
+
+void Report(const SourceFile& file, const std::string& rule, int line,
+            std::string message, RunResult* result) {
+  Finding f{file.rel_path(), line, rule, std::move(message)};
+  if (file.IsAllowed(rule, line)) {
+    // Surface the documented justification in the report.
+    std::string reason = "annotated";
+    for (const AllowAnnotation& a : file.allows()) {
+      if (a.rule == rule &&
+          (a.line == line || (a.line < line && line - a.line <= 8))) {
+        reason = a.reason;
+      }
+    }
+    result->AddSuppressed(std::move(f), reason);
+  } else {
+    result->Add(std::move(f));
+  }
+}
+
+/// Scans one file for iteration over unordered containers. `names` is
+/// the set of unordered-typed variable names in scope for this file
+/// (its own declarations plus its companion header's).
+void CheckUnorderedIteration(const SourceFile& file,
+                             const std::set<std::string>& names,
+                             RunResult* result) {
+  const std::vector<Token>& toks = file.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text != "for" || i + 1 >= toks.size() ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    // Find the matching close paren of the for-header.
+    size_t open = i + 1;
+    int depth = 0;
+    size_t close = open;
+    for (size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == open) continue;
+
+    // Range-for: a single `:` at paren depth 1.
+    size_t colon = 0;
+    depth = 0;
+    for (size_t j = open; j < close; ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") --depth;
+      if (toks[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon != 0) {
+      for (size_t j = colon + 1; j < close; ++j) {
+        if (names.count(toks[j].text) > 0) {
+          Report(file, kUnorderedIter, toks[j].line,
+                 "range-for over unordered container '" + toks[j].text +
+                     "': iteration order is hash-implementation-dependent; "
+                     "drain in sorted order, use an ordered container, or "
+                     "annotate check:allow(unordered-iter) with a "
+                     "justification",
+                 result);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Iterator loop: `name.begin()` / `name.cbegin()` in the for-header.
+    for (size_t j = open + 1; j + 2 < close; ++j) {
+      if (names.count(toks[j].text) > 0 &&
+          (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+          (toks[j + 2].text == "begin" || toks[j + 2].text == "cbegin" ||
+           toks[j + 2].text == "rbegin")) {
+        Report(file, kUnorderedIter, toks[j].line,
+               "iterator loop over unordered container '" + toks[j].text +
+                   "': iteration order is hash-implementation-dependent; "
+                   "drain in sorted order, use an ordered container, or "
+                   "annotate check:allow(unordered-iter) with a "
+                   "justification",
+               result);
+        break;
+      }
+    }
+  }
+}
+
+void CheckBannedCalls(const SourceFile& file, RunResult* result) {
+  if (PathExemptFromBannedCalls(file.rel_path())) return;
+  const std::vector<Token>& toks = file.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (BannedIdentifiers().count(t) > 0) {
+      Report(file, kBannedCall, toks[i].line,
+             "'" + t +
+                 "' is nondeterministic across runs/machines; use the "
+                 "simulated clock (sim/time.h) or a seeded common/rng.h "
+                 "generator",
+             result);
+      continue;
+    }
+    if (BannedCalls().count(t) > 0 && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      // Only direct calls: `.time()` accessors and member functions on
+      // simulated objects are fine.
+      if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+        continue;
+      }
+      Report(file, kBannedCall, toks[i].line,
+             "call to '" + t +
+                 "()' is nondeterministic; use the simulated clock "
+                 "(sim/time.h) or a seeded common/rng.h generator",
+             result);
+    }
+  }
+}
+
+}  // namespace
+
+void CheckDeterminism(const std::map<std::string, SourceFile>& files,
+                      RunResult* result) {
+  for (const auto& [rel_path, file] : files) {
+    if (rel_path.rfind("src/", 0) != 0) continue;
+
+    std::set<std::string> names;
+    CollectUnorderedNames(file, &names);
+    // A .cc file sees the members its companion header declares.
+    size_t dot = rel_path.rfind(".cc");
+    if (dot != std::string::npos && dot == rel_path.size() - 3) {
+      auto companion = files.find(rel_path.substr(0, dot) + ".h");
+      if (companion != files.end()) {
+        CollectUnorderedNames(companion->second, &names);
+      }
+    }
+
+    CheckUnorderedIteration(file, names, result);
+    CheckBannedCalls(file, result);
+
+    for (int line : file.malformed_allows()) {
+      result->Add(Finding{rel_path, line, "malformed-allow",
+                          "check:allow annotation must be "
+                          "'check:allow(<rule>): <reason>' — the reason is "
+                          "mandatory"});
+    }
+  }
+}
+
+}  // namespace transedge::check

@@ -1,0 +1,35 @@
+#ifndef TRANSEDGE_TOOLS_CHECK_DETERMINISM_H_
+#define TRANSEDGE_TOOLS_CHECK_DETERMINISM_H_
+
+#include <map>
+#include <string>
+
+#include "check/report.h"
+#include "check/source.h"
+
+namespace transedge::check {
+
+/// Determinism lint over the replica code (`src/`).
+///
+/// Rule `unordered-iter`: flags range-for and `.begin()` iterator loops
+/// over `std::unordered_map` / `std::unordered_set` variables. Replicas
+/// must emit identical message sequences for identical inputs; iterating
+/// a hash container in a path that sends messages, mutates ordered
+/// state, or builds a batch makes the schedule hash-implementation-
+/// dependent. Sites that are genuinely order-insensitive carry a
+/// `// check:allow(unordered-iter): <why>` annotation.
+///
+/// Rule `banned-call`: flags wall-clock and ambient-randomness calls
+/// (`system_clock`, `steady_clock`, `rand()`, `std::random_device`,
+/// `time()`, ...) outside `src/common/rng.*` and `src/sim/`. All time
+/// comes from the simulated clock and all randomness from seeded
+/// `common/rng.h` generators.
+///
+/// `files` maps repo-relative path -> lexed file for every file under
+/// scan; the lint resolves a `.cc` file's companion header from it.
+void CheckDeterminism(const std::map<std::string, SourceFile>& files,
+                      RunResult* result);
+
+}  // namespace transedge::check
+
+#endif  // TRANSEDGE_TOOLS_CHECK_DETERMINISM_H_

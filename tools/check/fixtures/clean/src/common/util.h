@@ -1,0 +1,7 @@
+// Fixture: leaf-layer helper, no findings expected.
+#ifndef FIXTURE_CLEAN_UTIL_H_
+#define FIXTURE_CLEAN_UTIL_H_
+
+inline int Twice(int x) { return x + x; }
+
+#endif  // FIXTURE_CLEAN_UTIL_H_

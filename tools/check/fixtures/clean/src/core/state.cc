@@ -1,0 +1,14 @@
+// Fixture: annotated iteration and point lookups only — no findings.
+#include "core/state.h"
+
+int Sum(const State& s) {
+  int total = 0;
+  // check:allow(unordered-iter): commutative sum; order-insensitive.
+  for (const auto& [k, v] : s.table_) total += v;
+  return total;
+}
+
+int Lookup(const State& s, int k) {
+  auto it = s.table_.find(k);
+  return it == s.table_.end() ? 0 : it->second;
+}

@@ -1,0 +1,14 @@
+// Fixture: unordered members are fine as long as iteration is ordered
+// or annotated.
+#ifndef FIXTURE_CLEAN_STATE_H_
+#define FIXTURE_CLEAN_STATE_H_
+
+#include <unordered_map>
+
+#include "common/util.h"
+
+struct State {
+  std::unordered_map<int, int> table_;
+};
+
+#endif  // FIXTURE_CLEAN_STATE_H_

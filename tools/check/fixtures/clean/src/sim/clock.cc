@@ -1,0 +1,6 @@
+// Fixture: the simulator itself may consult wall clocks.
+#include <chrono>
+
+long WallNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

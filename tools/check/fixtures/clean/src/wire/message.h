@@ -1,0 +1,21 @@
+// Fixture: message whose codec is complete in both directions.
+#ifndef FIXTURE_CLEAN_MESSAGE_H_
+#define FIXTURE_CLEAN_MESSAGE_H_
+
+#include <cstdint>
+
+enum class MessageType : uint32_t {
+  kPing = 1,
+};
+
+template <MessageType kType>
+struct TypedMessage {
+  uint32_t type() const { return static_cast<uint32_t>(kType); }
+};
+
+struct PingMsg : TypedMessage<MessageType::kPing> {
+  uint64_t seq = 0;
+  uint32_t hop = 0;
+};
+
+#endif  // FIXTURE_CLEAN_MESSAGE_H_

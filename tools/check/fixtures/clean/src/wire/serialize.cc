@@ -1,0 +1,18 @@
+// Fixture: codec matching message.h field for field.
+#include "wire/message.h"
+
+struct Encoder;
+struct Decoder;
+
+void EncodeBody(const PingMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.seq);
+  enc->PutU32(msg.hop);
+}
+
+void DecodeAll(Decoder* dec) {
+  Decode<PingMsg>(dec, [](auto* m, Decoder* d) {
+    TE_ASSIGN_OR_RETURN(m->seq, d->GetU64());
+    TE_ASSIGN_OR_RETURN(m->hop, d->GetU32());
+    return Status::OK();
+  });
+}

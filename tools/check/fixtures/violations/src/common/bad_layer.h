@@ -1,0 +1,8 @@
+// Fixture: common/ is the bottom band — reaching up into core/ breaks
+// the layer order.
+#ifndef FIXTURE_BAD_LAYER_H_
+#define FIXTURE_BAD_LAYER_H_
+
+#include "core/config.h"  // layer-order violation
+
+#endif  // FIXTURE_BAD_LAYER_H_

@@ -1,0 +1,7 @@
+// Fixture: one engine including another engine's header.
+#ifndef FIXTURE_BATCH_PIPELINE_H_
+#define FIXTURE_BATCH_PIPELINE_H_
+
+#include "core/read_only_service.h"  // engine-isolation violation
+
+#endif  // FIXTURE_BATCH_PIPELINE_H_

@@ -1,0 +1,15 @@
+// Fixture: wall-clock and ambient-randomness calls in replica code.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+long Now() {
+  auto t = std::chrono::steady_clock::now();  // banned-call
+  return t.time_since_epoch().count();
+}
+
+int Roll() {
+  std::random_device rd;  // banned-call
+  (void)rd;
+  return rand() % 6;  // banned-call
+}

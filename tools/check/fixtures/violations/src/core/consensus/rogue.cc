@@ -1,0 +1,3 @@
+// Fixture: a consensus engine must reach core/ only through the
+// Consensus/NodeContext seams — including the node is a violation.
+#include "core/node.h"  // consensus-seam violation

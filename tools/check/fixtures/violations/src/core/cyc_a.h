@@ -1,0 +1,2 @@
+// Fixture: include cycle (with cyc_b.h).
+#include "core/cyc_b.h"

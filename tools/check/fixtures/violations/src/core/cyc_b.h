@@ -1,0 +1,2 @@
+// Fixture: include cycle (with cyc_a.h).
+#include "core/cyc_a.h"

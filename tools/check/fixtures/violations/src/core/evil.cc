@@ -1,0 +1,3 @@
+// Fixture: the library must never include the test or bench layers.
+#include "../tests/util.h"       // external-include violation
+#include "bench/bench_common.h"  // external-include violation

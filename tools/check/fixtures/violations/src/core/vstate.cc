@@ -1,0 +1,29 @@
+// Fixture: order-sensitive iteration over unordered members. The first
+// two loops must be flagged; the annotated one must be suppressed; the
+// reason-less annotation must be flagged as malformed.
+#include "core/vstate.h"
+
+void Emit(int, int);
+
+void DrainBad(VState* s) {
+  for (const auto& [id, v] : s->waiting_) {  // line 9: unordered-iter
+    Emit(id, v);
+  }
+  for (auto it = s->seen_.begin(); it != s->seen_.end(); ++it) {  // line 12
+    Emit(*it, 0);
+  }
+}
+
+int CountAllowed(const VState& s) {
+  int total = 0;
+  // check:allow(unordered-iter): pure accumulation; order-insensitive.
+  for (const auto& [id, v] : s.waiting_) total += v;
+  return total;
+}
+
+int CountMalformed(const VState& s) {
+  int total = 0;
+  // check:allow(unordered-iter)
+  for (const auto& [id, v] : s.waiting_) total += v;
+  return total;
+}

@@ -1,0 +1,13 @@
+// Fixture: replica-state struct with unordered members.
+#ifndef FIXTURE_VSTATE_H_
+#define FIXTURE_VSTATE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+struct VState {
+  std::unordered_map<int, int> waiting_;
+  std::unordered_set<int> seen_;
+};
+
+#endif  // FIXTURE_VSTATE_H_

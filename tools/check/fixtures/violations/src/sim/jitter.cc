@@ -1,0 +1,7 @@
+// Fixture: sim/ owns virtual time — clock use here is exempt from the
+// banned-call rule and must produce no finding.
+#include <chrono>
+
+long HostNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

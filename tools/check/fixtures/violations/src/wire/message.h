@@ -1,0 +1,34 @@
+// Fixture: wire-field drift in both directions.
+#ifndef FIXTURE_WIRE_MESSAGE_H_
+#define FIXTURE_WIRE_MESSAGE_H_
+
+#include <cstdint>
+
+enum class MessageType : uint32_t {
+  kDrift = 1,
+  kGhost = 2,
+  kOrphan = 3,
+};
+
+template <MessageType kType>
+struct TypedMessage {
+  uint32_t type() const { return static_cast<uint32_t>(kType); }
+};
+
+struct DriftMsg : TypedMessage<MessageType::kDrift> {
+  uint64_t a = 0;
+  uint64_t b = 0;  // Serialized, never deserialized.
+  uint64_t c = 0;  // Deserialized, never serialized.
+  uint64_t pad = 0;  // Missing from both paths.
+};
+
+// check:allow(wire-parity): fixture: never crosses the wire.
+struct GhostMsg : TypedMessage<MessageType::kGhost> {
+  uint64_t x = 0;
+};
+
+struct OrphanMsg : TypedMessage<MessageType::kOrphan> {
+  uint64_t y = 0;  // No codec at all: both directions must fail.
+};
+
+#endif  // FIXTURE_WIRE_MESSAGE_H_

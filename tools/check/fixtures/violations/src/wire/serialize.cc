@@ -1,0 +1,18 @@
+// Fixture: codec with drifted fields (see message.h).
+#include "wire/message.h"
+
+struct Encoder;
+struct Decoder;
+
+void EncodeBody(const DriftMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.a);
+  enc->PutU64(msg.b);
+}
+
+void DecodeAll(Decoder* dec) {
+  Decode<DriftMsg>(dec, [](auto* m, Decoder* d) {
+    TE_ASSIGN_OR_RETURN(m->a, d->GetU64());
+    TE_ASSIGN_OR_RETURN(m->c, d->GetU64());
+    return Status::OK();
+  });
+}

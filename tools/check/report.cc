@@ -1,0 +1,92 @@
+#include "check/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace transedge::check {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void AppendFindingJson(std::ostringstream* out, const Finding& f) {
+  *out << "{\"file\":\"" << JsonEscape(f.file) << "\",\"line\":" << f.line
+       << ",\"rule\":\"" << JsonEscape(f.rule) << "\",\"message\":\""
+       << JsonEscape(f.message) << "\"}";
+}
+
+}  // namespace
+
+void Canonicalize(RunResult* result) {
+  auto key = [](const Finding& f) {
+    return std::tie(f.file, f.line, f.rule, f.message);
+  };
+  std::sort(result->findings.begin(), result->findings.end(),
+            [&](const Finding& a, const Finding& b) { return key(a) < key(b); });
+  std::sort(result->suppressed.begin(), result->suppressed.end(),
+            [&](const RunResult::Suppressed& a,
+                const RunResult::Suppressed& b) {
+              return key(a.finding) < key(b.finding);
+            });
+}
+
+std::string FormatText(const RunResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << f.file << ":" << f.line << ": " << f.rule << ": " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string FormatJson(const RunResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << result.files_scanned
+      << ",\n  \"finding_count\": " << result.findings.size()
+      << ",\n  \"suppressed_count\": " << result.suppressed.size()
+      << ",\n  \"findings\": [";
+  for (size_t i = 0; i < result.findings.size(); ++i) {
+    out << (i ? "," : "") << "\n    ";
+    AppendFindingJson(&out, result.findings[i]);
+  }
+  out << (result.findings.empty() ? "" : "\n  ") << "],\n  \"suppressed\": [";
+  for (size_t i = 0; i < result.suppressed.size(); ++i) {
+    out << (i ? "," : "") << "\n    {\"finding\":";
+    AppendFindingJson(&out, result.suppressed[i].finding);
+    out << ",\"reason\":\"" << JsonEscape(result.suppressed[i].reason)
+        << "\"}";
+  }
+  out << (result.suppressed.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace transedge::check

@@ -1,0 +1,49 @@
+#ifndef TRANSEDGE_TOOLS_CHECK_REPORT_H_
+#define TRANSEDGE_TOOLS_CHECK_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace transedge::check {
+
+/// One checker finding. `file` is repo-relative, `line` 1-based.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// The outcome of a whole run: unsuppressed findings (these fail the
+/// build) and the sites an in-source `check:allow` annotation justified
+/// (kept for the report so exemptions stay visible).
+struct RunResult {
+  std::vector<Finding> findings;
+  struct Suppressed {
+    Finding finding;
+    std::string reason;
+  };
+  std::vector<Suppressed> suppressed;
+  int files_scanned = 0;
+
+  void Add(Finding f) { findings.push_back(std::move(f)); }
+  void AddSuppressed(Finding f, std::string reason) {
+    suppressed.push_back(Suppressed{std::move(f), std::move(reason)});
+  }
+};
+
+/// `file:line: rule-id: message` — one finding per line, the format
+/// editors and CI log scrapers understand.
+std::string FormatText(const RunResult& result);
+
+/// Machine-readable report uploaded as a CI artifact.
+std::string FormatJson(const RunResult& result);
+
+/// Sorts findings by (file, line, rule) so output order never depends on
+/// check execution order. The checker must hold itself to the
+/// determinism bar it enforces.
+void Canonicalize(RunResult* result);
+
+}  // namespace transedge::check
+
+#endif  // TRANSEDGE_TOOLS_CHECK_REPORT_H_

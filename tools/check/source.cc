@@ -1,0 +1,222 @@
+#include "check/source.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace transedge::check {
+
+namespace {
+
+/// Splits raw file text into SourceLines, blanking string/char literals
+/// and routing comment text into `comment`. A tiny state machine is all
+/// the codebase's subset of C++ needs (no raw strings, no trigraphs).
+std::vector<SourceLine> StripLines(const std::string& text) {
+  std::vector<SourceLine> lines;
+  SourceLine cur;
+  bool in_block_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  bool in_line_comment = false;
+  std::string cur_literal;
+
+  auto flush = [&] {
+    size_t i = cur.code.find_first_not_of(" \t");
+    cur.preprocessor = i != std::string::npos && cur.code[i] == '#';
+    lines.push_back(cur);
+    cur = SourceLine{};
+    in_line_comment = false;
+    in_string = false;  // Unterminated literal: fail soft at line end.
+    in_char = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      flush();
+      continue;
+    }
+    if (in_line_comment) {
+      cur.comment.push_back(c);
+      continue;
+    }
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      } else {
+        cur.comment.push_back(c);
+      }
+      continue;
+    }
+    if (in_string || in_char) {
+      char close = in_string ? '"' : '\'';
+      if (c == '\\') {
+        if (in_string && next != '\0' && next != '\n') {
+          cur_literal.push_back(next);
+        }
+        ++i;  // Skip the escaped character.
+      } else if (c == close) {
+        if (in_string) cur.strings.push_back(cur_literal);
+        in_string = in_char = false;
+        cur.code.push_back(close);
+      } else if (in_string) {
+        cur_literal.push_back(c);
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      in_line_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      cur_literal.clear();
+      cur.code.push_back(c);
+      continue;
+    }
+    if (c == '\'') {
+      // Digit separators (1'000) never appear after a digit boundary in
+      // this codebase's style, but guard anyway: only open a char
+      // literal when not directly preceded by an alphanumeric.
+      if (!cur.code.empty() &&
+          (std::isalnum(static_cast<unsigned char>(cur.code.back())) ||
+           cur.code.back() == '_')) {
+        cur.code.push_back(c);
+        continue;
+      }
+      in_char = true;
+      cur.code.push_back(c);
+      continue;
+    }
+    cur.code.push_back(c);
+  }
+  if (!cur.code.empty() || !cur.comment.empty()) flush();
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool SourceFile::Load(const std::string& abs_path,
+                      const std::string& rel_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  rel_path_ = rel_path;
+  lines_ = StripLines(buf.str());
+  Lex();
+  return true;
+}
+
+void SourceFile::Lex() {
+  tokens_.clear();
+  allows_.clear();
+  malformed_allows_.clear();
+  quoted_includes_.clear();
+  allowed_lines_.clear();
+
+  for (size_t li = 0; li < lines_.size(); ++li) {
+    const int line_no = static_cast<int>(li) + 1;
+    const std::string& code = lines_[li].code;
+
+    // Quoted includes (preprocessor lines only). The target text lives
+    // in the line's string literal, not in the blanked code.
+    if (lines_[li].preprocessor && code.find("include") != std::string::npos &&
+        !lines_[li].strings.empty() && !lines_[li].strings.front().empty()) {
+      quoted_includes_.emplace_back(lines_[li].strings.front(), line_no);
+    }
+
+    // Tokens (skip preprocessor lines: `#include <unordered_map>` must
+    // not read as an unordered_map declaration).
+    if (!lines_[li].preprocessor) {
+      size_t i = 0;
+      while (i < code.size()) {
+        char c = code[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          ++i;
+          continue;
+        }
+        if (IsIdentChar(c)) {
+          size_t j = i;
+          while (j < code.size() && IsIdentChar(code[j])) ++j;
+          tokens_.push_back(Token{code.substr(i, j - i), line_no});
+          i = j;
+          continue;
+        }
+        // Two-character punctuators the checkers care about.
+        if (i + 1 < code.size()) {
+          char n = code[i + 1];
+          if ((c == ':' && n == ':') || (c == '-' && n == '>')) {
+            tokens_.push_back(Token{std::string{c, n}, line_no});
+            i += 2;
+            continue;
+          }
+        }
+        tokens_.push_back(Token{std::string(1, c), line_no});
+        ++i;
+      }
+    }
+
+    // Allow annotations live in comment text.
+    const std::string& comment = lines_[li].comment;
+    size_t pos = comment.find("check:allow(");
+    if (pos != std::string::npos) {
+      size_t open = pos + std::string("check:allow(").size();
+      size_t close = comment.find(')', open);
+      if (close == std::string::npos) {
+        malformed_allows_.push_back(line_no);
+      } else {
+        std::string rule = comment.substr(open, close - open);
+        // The reason after "): " is mandatory: the annotation exists to
+        // document *why* the site is order-insensitive or exempt.
+        size_t colon = comment.find(':', close);
+        std::string reason;
+        if (colon != std::string::npos) {
+          reason = comment.substr(colon + 1);
+          size_t first = reason.find_first_not_of(" \t");
+          reason = first == std::string::npos ? "" : reason.substr(first);
+        }
+        if (rule.empty() || reason.empty()) {
+          malformed_allows_.push_back(line_no);
+        } else {
+          allows_.push_back(AllowAnnotation{line_no, rule, reason});
+        }
+      }
+    }
+  }
+
+  // An annotation covers its own line and the next line that has code
+  // after it (comment-only lines in between are skipped, so a multi-line
+  // justification above the statement works).
+  for (const AllowAnnotation& a : allows_) {
+    std::set<int>& covered = allowed_lines_[a.rule];
+    covered.insert(a.line);
+    for (size_t li = static_cast<size_t>(a.line); li < lines_.size(); ++li) {
+      bool has_code =
+          lines_[li].code.find_first_not_of(" \t") != std::string::npos;
+      if (has_code) {
+        covered.insert(static_cast<int>(li) + 1);
+        break;
+      }
+    }
+  }
+}
+
+bool SourceFile::IsAllowed(const std::string& rule, int line) const {
+  auto it = allowed_lines_.find(rule);
+  return it != allowed_lines_.end() && it->second.count(line) > 0;
+}
+
+}  // namespace transedge::check

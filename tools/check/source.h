@@ -1,0 +1,82 @@
+#ifndef TRANSEDGE_TOOLS_CHECK_SOURCE_H_
+#define TRANSEDGE_TOOLS_CHECK_SOURCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace transedge::check {
+
+/// One physical source line, split into the code text (string literals
+/// blanked, comments removed) and the comment text (everything that was
+/// inside `//` or `/* */` on that line).
+struct SourceLine {
+  std::string code;
+  std::string comment;
+  /// Contents of each string literal on the line, in order. The code
+  /// text blanks them (so tokens never come from inside a literal), but
+  /// include targets live in literals and are needed verbatim.
+  std::vector<std::string> strings;
+  bool preprocessor = false;  // Line is a preprocessor directive.
+};
+
+/// A `// check:allow(<rule>): <reason>` annotation. It suppresses
+/// findings of `rule` on the annotation line itself and on the next line
+/// that carries code (so a comment block above the flagged statement
+/// works naturally).
+struct AllowAnnotation {
+  int line = 0;  // 1-based line of the annotation.
+  std::string rule;
+  std::string reason;
+};
+
+/// One token of code text: an identifier/number, or a single punctuation
+/// character (with `::`, `->`, `//`-free guarantees since comments are
+/// already stripped). `line` is 1-based.
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// A lexed source file.
+class SourceFile {
+ public:
+  /// Reads and lexes `abs_path`. `rel_path` is the repo-relative path
+  /// used in findings. Returns false when the file cannot be read.
+  bool Load(const std::string& abs_path, const std::string& rel_path);
+
+  const std::string& rel_path() const { return rel_path_; }
+  const std::vector<SourceLine>& lines() const { return lines_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::vector<AllowAnnotation>& allows() const { return allows_; }
+
+  /// True when a `check:allow(rule)` annotation covers `line`.
+  bool IsAllowed(const std::string& rule, int line) const;
+
+  /// Allow annotations missing the mandatory `: <reason>` suffix.
+  const std::vector<int>& malformed_allows() const {
+    return malformed_allows_;
+  }
+
+  /// Quoted `#include "..."` targets, with the 1-based line of each.
+  const std::vector<std::pair<std::string, int>>& quoted_includes() const {
+    return quoted_includes_;
+  }
+
+ private:
+  void Lex();
+
+  std::string rel_path_;
+  std::vector<SourceLine> lines_;
+  std::vector<Token> tokens_;
+  std::vector<AllowAnnotation> allows_;
+  std::vector<int> malformed_allows_;
+  std::vector<std::pair<std::string, int>> quoted_includes_;
+  /// rule -> lines covered by an allow annotation.
+  std::map<std::string, std::set<int>> allowed_lines_;
+};
+
+}  // namespace transedge::check
+
+#endif  // TRANSEDGE_TOOLS_CHECK_SOURCE_H_

@@ -1,0 +1,213 @@
+#include "check/wire_parity.h"
+
+#include <set>
+#include <vector>
+
+namespace transedge::check {
+
+namespace {
+
+constexpr const char* kRule = "wire-parity";
+
+struct Field {
+  std::string name;
+  int line = 0;
+};
+
+struct MessageStruct {
+  std::string name;
+  int line = 0;  // Line of the `struct` keyword.
+  std::vector<Field> fields;
+};
+
+/// Parses `struct X : TypedMessage<...> { fields... };` declarations.
+std::vector<MessageStruct> ParseMessageStructs(const SourceFile& header) {
+  std::vector<MessageStruct> out;
+  const std::vector<Token>& toks = header.tokens();
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text != "struct") continue;
+    if (toks[i + 2].text != ":" || toks[i + 3].text != "TypedMessage") {
+      continue;
+    }
+    MessageStruct msg;
+    msg.name = toks[i + 1].text;
+    msg.line = toks[i].line;
+
+    // Skip to the opening brace of the struct body.
+    size_t j = i + 4;
+    while (j < toks.size() && toks[j].text != "{") ++j;
+    if (j >= toks.size()) continue;
+    size_t body_start = ++j;
+    int depth = 1;
+    size_t body_end = body_start;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) {
+        body_end = j;
+        break;
+      }
+    }
+
+    // Fields: depth-1 statements `Type name;` / `Type name = init;`.
+    std::vector<Token> stmt;
+    depth = 1;
+    for (size_t k = body_start; k < body_end; ++k) {
+      if (toks[k].text == "{") ++depth;
+      if (toks[k].text == "}") --depth;
+      if (depth > 1) continue;
+      if (toks[k].text == ";") {
+        // The declared name is the last identifier before `=` (or the
+        // `;`). Statements containing parens are member functions or
+        // using-declarations — TypedMessage structs are plain data, so
+        // skip those.
+        bool has_paren = false;
+        size_t eq = stmt.size();
+        for (size_t s = 0; s < stmt.size(); ++s) {
+          if (stmt[s].text == "(") has_paren = true;
+          if (stmt[s].text == "=" && eq == stmt.size()) eq = s;
+        }
+        if (!has_paren && !stmt.empty()) {
+          for (size_t s = eq; s-- > 0;) {
+            char c0 = stmt[s].text[0];
+            if (std::isalpha(static_cast<unsigned char>(c0)) || c0 == '_') {
+              msg.fields.push_back(Field{stmt[s].text, stmt[s].line});
+              break;
+            }
+          }
+        }
+        stmt.clear();
+      } else {
+        stmt.push_back(toks[k]);
+      }
+    }
+    out.push_back(std::move(msg));
+    i = body_end;
+  }
+  return out;
+}
+
+/// Identifiers appearing in `EncodeBody(const Name& ...)`'s body, or an
+/// empty set and found=false when no such overload exists.
+std::set<std::string> EncodeBodyIdents(const SourceFile& ser,
+                                       const std::string& name, bool* found) {
+  *found = false;
+  const std::vector<Token>& toks = ser.tokens();
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text != "EncodeBody" || toks[i + 1].text != "(" ||
+        toks[i + 2].text != "const" || toks[i + 3].text != name) {
+      continue;
+    }
+    // Skip to the body's opening brace (a declaration without a body
+    // would hit `;` first).
+    size_t j = i + 4;
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text == ";") continue;
+    *found = true;
+    std::set<std::string> idents;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) break;
+      idents.insert(toks[j].text);
+    }
+    return idents;
+  }
+  return {};
+}
+
+/// Identifiers appearing in the `Decode<Name>(...)` call (the fill
+/// lambda lives in the argument list).
+std::set<std::string> DecodeBodyIdents(const SourceFile& ser,
+                                       const std::string& name, bool* found) {
+  *found = false;
+  const std::vector<Token>& toks = ser.tokens();
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text != "Decode" || toks[i + 1].text != "<" ||
+        toks[i + 2].text != name || toks[i + 3].text != ">") {
+      continue;
+    }
+    size_t j = i + 4;
+    while (j < toks.size() && toks[j].text != "(") ++j;
+    if (j >= toks.size()) continue;
+    *found = true;
+    std::set<std::string> idents;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+      idents.insert(toks[j].text);
+    }
+    return idents;
+  }
+  return {};
+}
+
+void Report(const SourceFile& header, int line, std::string message,
+            RunResult* result) {
+  Finding f{header.rel_path(), line, kRule, std::move(message)};
+  if (header.IsAllowed(kRule, line)) {
+    std::string reason = "annotated";
+    for (const AllowAnnotation& a : header.allows()) {
+      if (a.rule == kRule && a.line <= line && line - a.line <= 8) {
+        reason = a.reason;
+      }
+    }
+    result->AddSuppressed(std::move(f), reason);
+  } else {
+    result->Add(std::move(f));
+  }
+}
+
+}  // namespace
+
+void CheckWireParity(const std::map<std::string, SourceFile>& files,
+                     RunResult* result) {
+  auto header_it = files.find("src/wire/message.h");
+  auto ser_it = files.find("src/wire/serialize.cc");
+  if (header_it == files.end() || ser_it == files.end()) return;
+  const SourceFile& header = header_it->second;
+  const SourceFile& ser = ser_it->second;
+
+  for (const MessageStruct& msg : ParseMessageStructs(header)) {
+    // A struct annotated at its declaration never crosses the wire.
+    if (header.IsAllowed(kRule, msg.line)) {
+      Report(header, msg.line, msg.name + " exempt from wire parity",
+             result);
+      continue;
+    }
+    bool has_enc = false;
+    bool has_dec = false;
+    std::set<std::string> enc = EncodeBodyIdents(ser, msg.name, &has_enc);
+    std::set<std::string> dec = DecodeBodyIdents(ser, msg.name, &has_dec);
+    if (!has_enc) {
+      Report(header, msg.line,
+             msg.name + " has no EncodeBody(const " + msg.name +
+                 "&, Encoder*) in wire/serialize.cc",
+             result);
+    }
+    if (!has_dec) {
+      Report(header, msg.line,
+             msg.name + " has no Decode<" + msg.name +
+                 "> case in wire/serialize.cc",
+             result);
+    }
+    if (!has_enc || !has_dec) continue;
+
+    for (const Field& field : msg.fields) {
+      bool in_enc = enc.count(field.name) > 0;
+      bool in_dec = dec.count(field.name) > 0;
+      if (in_enc && in_dec) continue;
+      std::string where = !in_enc && !in_dec
+                              ? "missing from both the serialize and "
+                                "deserialize paths"
+                          : !in_enc ? "deserialized but never serialized"
+                                    : "serialized but never deserialized";
+      Report(header, field.line,
+             "field '" + field.name + "' of " + msg.name + " is " + where +
+                 " (wire/serialize.cc)",
+             result);
+    }
+  }
+}
+
+}  // namespace transedge::check

@@ -1,0 +1,29 @@
+#ifndef TRANSEDGE_TOOLS_CHECK_WIRE_PARITY_H_
+#define TRANSEDGE_TOOLS_CHECK_WIRE_PARITY_H_
+
+#include <map>
+#include <string>
+
+#include "check/report.h"
+#include "check/source.h"
+
+namespace transedge::check {
+
+/// Wire-parity checker (rule `wire-parity`).
+///
+/// Parses every `struct XMsg : TypedMessage<...>` in
+/// `src/wire/message.h` and verifies each field appears in both the
+/// `EncodeBody(const XMsg&, ...)` function and the `Decode<XMsg>(...)`
+/// lambda in `src/wire/serialize.cc`. A field added to a message but
+/// forgotten in either codec path — the drift that silently truncates or
+/// corrupts the wire image — fails the check in either direction.
+///
+/// Fields that intentionally never travel (simulation-only shortcuts)
+/// carry `// check:allow(wire-parity): <why>`; a whole struct that never
+/// crosses the wire carries the same annotation above its declaration.
+void CheckWireParity(const std::map<std::string, SourceFile>& files,
+                     RunResult* result);
+
+}  // namespace transedge::check
+
+#endif  // TRANSEDGE_TOOLS_CHECK_WIRE_PARITY_H_
