@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_smoke.json}
 
-for bench in bench_fig04_ro_latency bench_shard_scaling bench_consensus_compare bench_apply_pipeline; do
+for bench in bench_fig04_ro_latency bench_shard_scaling bench_consensus_compare bench_apply_pipeline bench_durability; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "error: $BUILD_DIR/$bench not built" >&2
     echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -23,6 +23,7 @@ fig04_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_fig04_ro_latency" | grep '^{')
 shard_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_shard_scaling" | grep '^{')
 consensus_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_consensus_compare" | grep '^{')
 apply_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_apply_pipeline" | grep '^{')
+durability_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_durability" | grep '^{')
 
 # bench_micro is optional (needs google-benchmark); emit native JSON when
 # present, a placeholder otherwise.
@@ -51,6 +52,9 @@ fi
   echo ','
   echo '"apply_pipeline":'
   echo "$apply_json"
+  echo ','
+  echo '"durability":'
+  echo "$durability_json"
   echo '}'
 } > "$OUT"
 

@@ -151,6 +151,11 @@ void BatchPipeline::HandleCommitRequest(sim::ActorId from,
                                         const wire::CommitRequest& msg) {
   sim::ActorId client = msg.reply_to != 0 ? msg.reply_to : from;
   const Transaction& txn = msg.txn;
+  // A retry of a transaction a (possibly handover-resumed) coordination
+  // entry already owns: hand the client back to 2PC instead of dedup-
+  // swallowing or — worse — re-admitting it against its own pending
+  // footprint.
+  if (hooks_.reattach_client && hooks_.reattach_client(txn.id, client)) return;
   if (seen_txns_.count(txn.id) > 0) return;  // Duplicate / retry.
 
   sim::Time done = ctx_->Charge(ctx_->config().cost.admit_per_txn);
@@ -246,6 +251,7 @@ storage::Batch BuildBatchFromSegments(NodeContext* ctx,
       rec.committed = pending.state == txn::PendingTxn::State::kCommitted;
       rec.prepared_in_batch = group->prepared_in_batch;
       rec.participant_info = pending.participant_info;
+      rec.coordinator = pending.txn.coordinator;
       batch.committed.push_back(std::move(rec));
     }
     lce = group->prepared_in_batch;

@@ -41,6 +41,11 @@ class BatchPipeline {
     std::function<void(storage::Batch, merkle::MerkleTree)> propose;
     /// A distributed transaction passed admission with us as coordinator.
     std::function<void(const Transaction&, sim::ActorId)> begin_coordination;
+    /// Consulted before dedup/admission of a commit request: true when a
+    /// live (possibly handover-resumed) coordination already owns the
+    /// transaction id — the 2PC layer attached the retrying client or
+    /// answered it, and the request must not be re-admitted.
+    std::function<bool(TxnId, sim::ActorId)> reattach_client;
     /// Augustus-baseline interference: true if a shared read lock blocks
     /// this (partition-restricted) writer.
     std::function<bool(const Transaction&)> ro_locks_block_writer;

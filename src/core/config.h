@@ -6,6 +6,7 @@
 
 #include "crypto/key_store.h"
 #include "sim/time.h"
+#include "storage/storage_kind.h"
 #include "txn/types.h"
 
 namespace transedge::core {
@@ -48,6 +49,22 @@ struct CostModel {
   /// of independently applied leaf-index subranges is a per-shard hash
   /// up the shared spine.
   sim::Time apply_shard_recombine = sim::Micros(15);
+
+  // Durable-storage costs (charged only under StorageKind::kPaged, from
+  // the backend's StorageIoStats deltas; the in-memory backend reports
+  // zero I/O and therefore charges nothing).
+
+  /// Building + buffering one WAL record (decision critical path).
+  sim::Time wal_append = sim::Micros(4);
+
+  /// One fsync barrier (WAL group commit or page-file checkpoint sync).
+  sim::Time disk_fsync = sim::Micros(120);
+
+  /// Writing one page (checkpoint flush; charged on the I/O meter).
+  sim::Time page_write = sim::Micros(30);
+
+  /// Reading one page (recovery; charged on the I/O meter).
+  sim::Time page_read = sim::Micros(25);
 };
 
 /// Which intra-cluster consensus engine certifies batches. Every engine
@@ -118,6 +135,18 @@ struct SystemConfig {
   /// the storage stack catches up. false (default) applies synchronously
   /// inside the decision, byte-for-byte identical to the pre-queue code.
   bool async_apply = false;
+
+  /// Which storage engine backs each replica's store + log (see
+  /// storage::StorageKind). The default keeps the in-memory stack
+  /// byte-for-byte identical to the pre-seam behavior; kPaged adds a
+  /// WAL + checkpoint on a per-replica simulated disk and survives
+  /// crash-restart.
+  storage::StorageKind storage_kind = storage::StorageKind::kInMemory;
+
+  /// Durability knobs of the paged backend (page size, bucket count,
+  /// group commit, checkpoint cadence). `num_partitions`/`partition`
+  /// are overwritten per node; the rest are honored as configured.
+  storage::StorageTuning durability;
 
   /// Number of leaf-index subranges the apply work is carved into
   /// (ShardRouterKind::kRange carving). Each shard applies its subtree

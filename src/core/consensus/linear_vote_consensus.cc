@@ -859,7 +859,13 @@ void LinearVoteConsensus::ServeCatchUp(crypto::NodeId to, BatchId peer_last) {
   const storage::SmrLog& log = ctx_->mutable_log();
   if (to == ctx_->id() || peer_last >= log.LastBatchId()) return;
   sim::Time at = ctx_->busy_until();
-  for (BatchId id = peer_last + 1; id <= log.LastBatchId(); ++id) {
+  // The log only reaches back to the history horizon (TruncateHistory
+  // drops entries below the snapshot base): serve the retained suffix
+  // and stamp every message with the floor, so a peer lagging below it
+  // learns the gap is unfillable by transfer and must recover from
+  // durable storage.
+  BatchId start = std::max(peer_last + 1, log.FirstBatchId());
+  for (BatchId id = start; id <= log.LastBatchId(); ++id) {
     auto entry = log.Get(id);
     if (!entry.ok()) return;
     wire::LinearCatchUpMsg msg;
@@ -867,6 +873,7 @@ void LinearVoteConsensus::ServeCatchUp(crypto::NodeId to, BatchId peer_last) {
     msg.cert = entry.value()->certificate;
     msg.view = proven_view_;
     msg.view_proof = view_proof_;
+    msg.first_retained = log.FirstBatchId();
     SendCounted(to, ShareMsg(std::move(msg)), at);
   }
 }
@@ -922,6 +929,12 @@ void LinearVoteConsensus::HandleCatchUp(sim::ActorId from,
   }
   BatchId next = ctx_->mutable_log().LastBatchId() + 1;
   if (msg.batch.id > next) {
+    if (msg.first_retained > next) {
+      // The sender truncated below our gap: no transfer can ever fill
+      // it, so parking this entry would leak it forever. Recovery from
+      // durable storage (System::RestartReplica) is the only way back.
+      return;
+    }
     // Jitter reordered the transfer; hold until predecessors arrive.
     pending_catchup_.emplace(msg.batch.id,
                              std::make_pair(msg.batch, msg.cert));

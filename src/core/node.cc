@@ -12,6 +12,20 @@
 
 namespace transedge::core {
 
+namespace {
+
+/// The backend needs the deployment geometry to re-derive write sets;
+/// everything else in the tuning block is honored as configured.
+storage::StorageTuning BackendTuningFor(const SystemConfig& config,
+                                        PartitionId partition) {
+  storage::StorageTuning tuning = config.durability;
+  tuning.num_partitions = config.num_partitions;
+  tuning.partition = partition;
+  return tuning;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Construction: wire the engines together through hooks.
 // ---------------------------------------------------------------------------
@@ -19,7 +33,8 @@ namespace transedge::core {
 TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
                              sim::Environment* env,
                              std::unique_ptr<crypto::Signer> signer,
-                             const crypto::Verifier* verifier)
+                             const crypto::Verifier* verifier,
+                             storage::paged::SimDisk* disk)
     : config_(config),
       id_(id),
       partition_(config.PartitionOfNode(id)),
@@ -28,9 +43,11 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
       verifier_(verifier),
       partition_map_(config.num_partitions),
       cluster_members_(config.ClusterMembers(partition_)),
+      backend_(storage::MakeStorageBackend(
+          config.storage_kind, BackendTuningFor(config, partition_), disk)),
       tree_(config.merkle_depth),
       decided_tree_(config.merkle_depth),
-      validator_(&store_) {
+      validator_(&backend_->store()) {
   // The private-base conversion must happen in this class's scope.
   NodeContext* ctx = this;
 
@@ -54,6 +71,9 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
                                              sim::ActorId client) {
     two_pc_->BeginCoordination(txn, client);
   };
+  pipeline_hooks.reattach_client = [this](TxnId txn_id, sim::ActorId client) {
+    return two_pc_->ReattachClient(txn_id, client);
+  };
   pipeline_hooks.ro_locks_block_writer = [this](const Transaction& txn) {
     return augustus_->BlocksWriter(txn);
   };
@@ -68,6 +88,9 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
     return pipeline_->AdmitPrepared(txn);
   };
   two_pc_hooks.maybe_propose = [this] { pipeline_->MaybeProposeOnSize(); };
+  two_pc_hooks.in_flight = [this](TxnId txn_id) {
+    return pipeline_->HasIndexed(txn_id);
+  };
   two_pc_ =
       std::make_unique<TwoPcCoordinator>(ctx, std::move(two_pc_hooks));
 
@@ -79,9 +102,49 @@ TransEdgeNode::~TransEdgeNode() = default;
 
 void TransEdgeNode::Preload(const storage::VersionedStore& store,
                             const merkle::MerkleTree& tree) {
-  store_ = store;
+  backend_->Preload(store, tree.RootDigest());
   tree_ = tree.Clone();
   decided_tree_ = tree.Clone();
+}
+
+Status TransEdgeNode::RecoverFromStorage(const storage::RecoverOptions& opts) {
+  TE_ASSIGN_OR_RETURN(storage::RecoveredState recovered,
+                      backend_->Recover(opts));
+
+  // Rebuild the authenticated structure from the recovered store and
+  // refuse to come up unless it hashes to a root some quorum certified:
+  // the log tail's certificate, or the checkpoint's recorded root when
+  // the WAL held nothing beyond it. Buckets keep keys sorted, so the
+  // rebuilt tree is canonical and must hash-equal the incremental one.
+  merkle::MerkleTree rebuilt(config_.merkle_depth);
+  backend_->store().ForEachLatest(
+      [&](const Key& key, const Value& value, BatchId version) {
+        rebuilt.Put(key, value, version);
+      });
+  const storage::SmrLog& log = backend_->log();
+  const crypto::Digest expected = log.empty()
+                                      ? recovered.checkpoint_root
+                                      : log.back().certificate.merkle_root;
+  if (!(rebuilt.RootDigest() == expected)) {
+    return Status::VerificationFailed(
+        "recovered store does not hash to the certified Merkle root");
+  }
+
+  tree_ = std::move(rebuilt);
+  decided_tree_ = tree_.Clone();
+  last_applied_ = log.empty() ? recovered.checkpoint_applied
+                              : log.LastBatchId();
+  snapshots_.clear();
+  if (last_applied_ == kNoBatch) {
+    snapshot_base_ = 0;  // Fresh preloaded state: same as a new node.
+  } else {
+    snapshot_base_ = last_applied_;
+    snapshots_.push_back(tree_.GetSnapshot());
+  }
+  // Recovery I/O occupies the replica CPU: the node is busy replaying
+  // before it can process its first message.
+  ChargeStorageIo(/*on_protocol_cpu=*/true);
+  return Status::OK();
 }
 
 void TransEdgeNode::OnStart() { pipeline_->OnStart(); }
@@ -146,7 +209,7 @@ uint32_t TransEdgeNode::EffectivePipelineDepth() const {
 ProposalChain TransEdgeNode::proposal_chain() {
   ProposalChain chain = consensus_->Chain();
   if (chain.head_tree == nullptr) {
-    chain.next_id = log_.LastBatchId() + 1;
+    chain.next_id = backend_->log().LastBatchId() + 1;
     chain.head_tree = &decided_tree_;
   }
   return chain;
@@ -155,7 +218,7 @@ ProposalChain TransEdgeNode::proposal_chain() {
 BatchId TransEdgeNode::LatestDecidedVersion(const Key& key) const {
   auto it = decided_versions_.find(key);
   if (it != decided_versions_.end()) return it->second;
-  return store_.LatestVersion(key);
+  return backend_->store().LatestVersion(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +251,7 @@ void TransEdgeNode::SendToCluster(PartitionId p, const sim::MessagePtr& msg,
 // ---------------------------------------------------------------------------
 
 void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+  if (halted_) return;
   if (byzantine_ == ByzantineBehavior::kCrash) return;
   Charge(config_.cost.message_handling);
 
@@ -208,7 +272,7 @@ void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
          cpu_.busy_until());
     // Expect the leader to make progress on the forwarded work; if the
     // log does not advance, demand a view change (PBFT-style liveness).
-    consensus_->StartViewChangeTimer(log_.LastBatchId() + 1);
+    consensus_->StartViewChangeTimer(backend_->log().LastBatchId() + 1);
     return;
   }
 
@@ -334,9 +398,15 @@ void TransEdgeNode::OnDecided(storage::Batch batch,
   decided_tree_ = post_tree.Clone();
   entry.post_tree = std::move(post_tree);
 
-  Status append = log_.Append({std::move(batch), std::move(certificate)});
+  Status append =
+      backend_->log().Append({std::move(batch), std::move(certificate)});
   assert(append.ok());
   (void)append;
+  // Durability point: the WAL covers the decision before anything acts
+  // on it. Its cost lands on the protocol CPU (group-commit fsync is the
+  // decision critical path); zero under the in-memory backend.
+  backend_->OnDecided();
+  ChargeStorageIo(/*on_protocol_cpu=*/true);
 
   apply_queue_.push_back(std::move(entry));
   if (!config_.async_apply) {
@@ -357,7 +427,7 @@ void TransEdgeNode::OnDecided(storage::Batch batch,
 }
 
 sim::Time TransEdgeNode::ApplyCostFor(const PendingApply& entry) const {
-  Result<const storage::LogEntry*> logged = log_.Get(entry.id);
+  Result<const storage::LogEntry*> logged = backend_->log().Get(entry.id);
   assert(logged.ok());
   const storage::Batch& batch = logged.value()->batch;
   const size_t n = batch.TotalTransactions();
@@ -393,13 +463,13 @@ sim::Time TransEdgeNode::ApplyCostFor(const PendingApply& entry) const {
 }
 
 void TransEdgeNode::InstallApply(PendingApply entry) {
-  Result<const storage::LogEntry*> logged_or = log_.Get(entry.id);
+  Result<const storage::LogEntry*> logged_or = backend_->log().Get(entry.id);
   assert(logged_or.ok());
   const storage::LogEntry& logged = *logged_or.value();
   const storage::Batch& batch = logged.batch;
 
   auto apply_write = [&](const WriteOp& w) {
-    store_.Put(w.key, w.value, batch.id);
+    backend_->store().Put(w.key, w.value, batch.id);
     // Drain the decided-version overlay once the store has caught up.
     auto it = decided_versions_.find(w.key);
     if (it != decided_versions_.end() && it->second == batch.id) {
@@ -430,16 +500,24 @@ void TransEdgeNode::InstallApply(PendingApply entry) {
   snapshots_.push_back(tree_.GetSnapshot());
   assert(snapshot_base_ + static_cast<BatchId>(snapshots_.size()) ==
          batch.id + 1);
+  bool truncate_due = false;
   if (snapshots_.size() > config_.snapshot_history) {
     snapshots_.pop_front();
     ++snapshot_base_;
-    // Bound version-history growth along with the snapshots (amortized:
-    // a full sweep of the store every 64 batches).
-    if (snapshot_base_ % 64 == 0) store_.TruncateHistory(snapshot_base_);
+    // Bound history growth along with the snapshots (amortized: a full
+    // sweep every 64 batches). The actual truncation is deferred past
+    // the engine follow-ups below: truncating the log moves its base
+    // and would invalidate `logged`.
+    if (snapshot_base_ % 64 == 0) truncate_due = true;
   }
 
   last_applied_ = batch.id;
   ++batches_applied_;
+
+  // Durable engines mark dirty buckets / checkpoint here; the cost goes
+  // on the storage device's own meter, beside the protocol CPU.
+  backend_->OnApplied(batch.id, logged.certificate.merkle_root);
+  ChargeStorageIo(/*on_protocol_cpu=*/false);
 
   // Engine follow-ups, in the same order the monolithic replica used:
   // leader bookkeeping + local client replies, 2PC legs, parked
@@ -447,6 +525,36 @@ void TransEdgeNode::InstallApply(PendingApply entry) {
   pipeline_->OnBatchApplied(logged.batch);
   two_pc_->OnBatchApplied(logged.batch, logged.certificate);
   read_only_->ServeParkedRequests();
+
+  if (truncate_due) {
+    // One authoritative horizon for every engine: key-version history,
+    // log availability, and the RO out-of-window rejection all move
+    // together (`logged` is dead past this point).
+    backend_->TruncateHistory(snapshot_base_);
+    ChargeStorageIo(/*on_protocol_cpu=*/false);
+  }
+}
+
+void TransEdgeNode::ChargeStorageIo(bool on_protocol_cpu) {
+  const storage::StorageIoStats& s = backend_->io_stats();
+  const auto delta = [](uint64_t cur, uint64_t prev) {
+    return static_cast<sim::Time>(cur - prev);
+  };
+  const CostModel& c = config_.cost;
+  sim::Time cost =
+      delta(s.wal_appends, charged_io_.wal_appends) * c.wal_append +
+      (delta(s.wal_syncs, charged_io_.wal_syncs) +
+       delta(s.file_syncs, charged_io_.file_syncs)) *
+          c.disk_fsync +
+      delta(s.pages_written, charged_io_.pages_written) * c.page_write +
+      delta(s.pages_read, charged_io_.pages_read) * c.page_read;
+  charged_io_ = s;
+  if (cost == 0) return;  // In-memory backend: never any I/O to charge.
+  if (on_protocol_cpu) {
+    cpu_.Charge(env_->now(), cost);
+  } else {
+    io_cpu_.Charge(env_->now(), cost);
+  }
 }
 
 void TransEdgeNode::ScheduleApplyDrain() {
@@ -454,7 +562,9 @@ void TransEdgeNode::ScheduleApplyDrain() {
   apply_inflight_ = true;
   sim::Time done =
       apply_cpu_.Charge(env_->now(), ApplyCostFor(apply_queue_.front()));
-  env_->Schedule(done - env_->now(), [this] {
+  // Route through the halt-gated Schedule so a parked replica's pending
+  // apply never fires into a successor's world.
+  Schedule(done - env_->now(), [this] {
     PendingApply entry = std::move(apply_queue_.front());
     apply_queue_.pop_front();
     apply_inflight_ = false;

@@ -13,6 +13,7 @@
 #include "sim/environment.h"
 #include "storage/partition_map.h"
 #include "storage/smr_log.h"
+#include "storage/storage_backend.h"
 #include "storage/versioned_store.h"
 #include "txn/occ_validator.h"
 #include "txn/prepared_batches.h"
@@ -71,9 +72,12 @@ struct NodeStats {
 /// include each other.
 class TransEdgeNode : public sim::Actor, private NodeContext {
  public:
+  /// `disk` is this replica's simulated disk; required (and borrowed,
+  /// must outlive the node) under StorageKind::kPaged, ignored otherwise.
   TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
                 sim::Environment* env, std::unique_ptr<crypto::Signer> signer,
-                const crypto::Verifier* verifier);
+                const crypto::Verifier* verifier,
+                storage::paged::SimDisk* disk = nullptr);
   ~TransEdgeNode() override;
 
   /// Installs the pre-replicated initial state (identical across the
@@ -91,8 +95,9 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   uint64_t view() const;
   bool IsLeader() const override;
   bool ReproposalPending() const override;
-  const storage::SmrLog& log() const { return log_; }
-  const storage::VersionedStore& store() const { return store_; }
+  const storage::SmrLog& log() const { return backend_->log(); }
+  const storage::VersionedStore& store() const { return backend_->store(); }
+  const storage::StorageBackend& backend() const { return *backend_; }
   const merkle::MerkleTree& tree() const { return tree_; }
   const NodeStats& stats() const;
   size_t in_progress_size() const;
@@ -104,6 +109,21 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
     byzantine_ = behavior;
   }
   ByzantineBehavior byzantine_behavior() const { return byzantine_; }
+
+  /// Permanently silences this replica (crash or replacement-by-restart):
+  /// messages are dropped and every engine timer becomes a no-op, so a
+  /// parked node can coexist with a successor registered under its id.
+  void Halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+  /// Rebuilds the replica's state from its durable backend: backend
+  /// recovery (checkpoint + WAL replay), Merkle tree reconstruction from
+  /// the recovered store, root verification against the log tail's
+  /// certificate (or the checkpoint root when the log is empty), and
+  /// re-seeding of the snapshot window + applied watermark. Must run
+  /// before the node processes any message. Only meaningful for durable
+  /// backends on a freshly constructed node.
+  Status RecoverFromStorage(const storage::RecoverOptions& opts);
 
  private:
   // --- NodeContext implementation (the engines' window on the node) -------
@@ -118,7 +138,12 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   }
   sim::Time busy_until() const override { return cpu_.busy_until(); }
   void Schedule(sim::Time delay, std::function<void()> fn) override {
-    env_->Schedule(delay, std::move(fn));
+    // Every engine timer routes through here; the halt gate turns them
+    // all into no-ops so a parked replica never acts again even though
+    // its already-scheduled closures still fire.
+    env_->Schedule(delay, [this, fn = std::move(fn)] {
+      if (!halted_) fn();
+    });
   }
   void Send(crypto::NodeId to, const sim::MessagePtr& msg,
             sim::Time at) override;
@@ -129,9 +154,11 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
     return signer_->Sign(payload);
   }
   const crypto::Verifier& verifier() const override { return *verifier_; }
-  storage::VersionedStore& mutable_store() override { return store_; }
+  storage::VersionedStore& mutable_store() override {
+    return backend_->store();
+  }
   merkle::MerkleTree& mutable_tree() override { return tree_; }
-  storage::SmrLog& mutable_log() override { return log_; }
+  storage::SmrLog& mutable_log() override { return backend_->log(); }
   txn::OccValidator& validator() override { return validator_; }
   txn::PreparedBatches& prepared_batches() override {
     return prepared_batches_;
@@ -181,6 +208,14 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   /// and schedules its completion; re-arms itself until the queue drains.
   void ScheduleApplyDrain();
 
+  /// Converts the backend's StorageIoStats growth since the last call
+  /// into simulated time (CostModel wal_append/disk_fsync/page_write/
+  /// page_read). `on_protocol_cpu` charges the replica CPU (WAL on the
+  /// decision critical path, recovery); otherwise the I/O meter (the
+  /// checkpoint flusher running beside the protocol). Zero deltas —
+  /// the in-memory backend always — charge nothing.
+  void ChargeStorageIo(bool on_protocol_cpu);
+
   SystemConfig config_;
   crypto::NodeId id_;
   PartitionId partition_;
@@ -192,16 +227,24 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
 
   sim::CpuMeter cpu_;
   ByzantineBehavior byzantine_ = ByzantineBehavior::kNone;
+  bool halted_ = false;
 
-  // Storage stack.
-  storage::VersionedStore store_;
+  // Storage stack, behind the engine seam selected by
+  // SystemConfig::storage_kind (must precede validator_, which borrows
+  // the store).
+  std::unique_ptr<storage::StorageBackend> backend_;
+  /// What the node has already converted from the backend's cumulative
+  /// I/O counters into simulated time (see ChargeStorageIo).
+  storage::StorageIoStats charged_io_;
+  /// The storage device's own meter: checkpoint flushes charge here, in
+  /// parallel with the protocol CPU (mirrors apply_cpu_).
+  sim::CpuMeter io_cpu_;
   merkle::MerkleTree tree_;
   /// Sliding window of per-batch snapshots: snapshots_[i] is the state
   /// after batch (snapshot_base_ + i). Bounded by
   /// SystemConfig::snapshot_history.
   std::deque<merkle::MerkleTree::Snapshot> snapshots_;
   BatchId snapshot_base_ = 0;
-  storage::SmrLog log_;
 
   // Decided-vs-applied decoupling. `tree_` above is the *applied* tree
   // (read-only serving); `decided_tree_` tracks the newest certified

@@ -116,6 +116,14 @@ class NodeContext {
   virtual const merkle::MerkleTree::Snapshot& SnapshotAt(
       BatchId batch_id) const = 0;
 
+  /// The ONE authoritative history horizon: Merkle snapshots, key-version
+  /// history, and log-entry retention are all bounded below by this id
+  /// (StorageBackend::TruncateHistory is driven with it), so historical
+  /// serving — including the RO service's out-of-window floor — must
+  /// floor here, never at a structure-specific notion of "oldest". Equals
+  /// the snapshot window base under every backend.
+  virtual BatchId history_horizon() const { return snapshot_base(); }
+
   // --- Decided vs. applied watermarks --------------------------------------
   /// Highest batch id whose writes have reached the store and tree
   /// (`mutable_tree()` is positioned here); kNoBatch before the first

@@ -39,7 +39,9 @@ Result<wire::RoReply> ReadOnlyService::BuildRoReply(
   // Both lookups can fail for a batch outside the retained window (the
   // snapshot window trails the log head); dereferencing the error Result
   // unchecked would be UB, so the caller replies unserviceable instead.
-  if (batch_id < ctx_->snapshot_base()) {
+  // The floor is the authoritative history horizon — the same bound the
+  // storage backend truncates version history and log entries against.
+  if (batch_id < ctx_->history_horizon()) {
     return Status::NotFound("snapshot for batch no longer retained");
   }
   Result<const storage::LogEntry*> entry_or = ctx_->mutable_log().Get(batch_id);
@@ -119,11 +121,12 @@ BatchId ReadOnlyService::FindBatchWithLce(BatchId min_lce) const {
   const storage::SmrLog& log = ctx_->mutable_log();
   if (ctx_->last_applied() == kNoBatch) return kNoBatch;
   // LCE is non-decreasing across batches: binary search for the earliest
-  // batch satisfying the dependency. Snapshots older than the retained
-  // window cannot be served, so the search floor is the window base; the
-  // ceiling is the *applied* head — later batches are decided but have
-  // no snapshot yet.
-  BatchId lo = ctx_->snapshot_base();
+  // batch satisfying the dependency. History older than the authoritative
+  // horizon cannot be served (snapshots and log entries are truncated
+  // together there), so the search floor is that horizon; the ceiling is
+  // the *applied* head — later batches are decided but have no snapshot
+  // yet.
+  BatchId lo = ctx_->history_horizon();
   BatchId hi = ctx_->last_applied();
   Result<const storage::LogEntry*> last = log.Get(hi);
   if (!last.ok() || last.value()->batch.ro.lce < min_lce) return kNoBatch;

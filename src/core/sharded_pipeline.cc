@@ -124,6 +124,13 @@ bool ShardedPipeline::AlreadySeen(TxnId txn_id) const {
   return false;
 }
 
+bool ShardedPipeline::HasIndexed(TxnId txn_id) const {
+  for (const auto& shard : shards_) {
+    if (shard->HasIndexed(txn_id)) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Proposal loop (merged batch; shards > 1)
 // ---------------------------------------------------------------------------

@@ -69,6 +69,9 @@ class ShardedPipeline {
   void HandleCommitRequest(sim::ActorId from, const wire::CommitRequest& msg);
   Status AdmitPrepared(const Transaction& txn);
   bool AlreadySeen(TxnId txn_id) const;
+  /// True while some shard still holds the id's footprint (admitted,
+  /// neither applied nor abandoned).
+  bool HasIndexed(TxnId txn_id) const;
   void MaybeProposeOnSize();
   void OnBatchApplied(const storage::Batch& logged);
   void OnViewChange();

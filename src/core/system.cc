@@ -16,10 +16,14 @@ System::System(const SystemConfig& config,
     : config_(config),
       env_(env_opts),
       scheme_(config.total_replicas() + kMaxClients, env_opts.seed ^ 0x5ed) {
+  const bool paged = config_.storage_kind == storage::StorageKind::kPaged;
+  if (paged) disks_.resize(config_.total_replicas());
   nodes_.reserve(config_.total_replicas());
   for (uint32_t id = 0; id < config_.total_replicas(); ++id) {
+    if (paged) disks_[id] = std::make_unique<storage::paged::SimDisk>();
     auto node = std::make_unique<TransEdgeNode>(
-        config_, id, &env_, scheme_.MakeSigner(id), &scheme_.verifier());
+        config_, id, &env_, scheme_.MakeSigner(id), &scheme_.verifier(),
+        paged ? disks_[id].get() : nullptr);
     // Replicas of partition p are co-located at site p.
     env_.network().Register(id, config_.PartitionOfNode(id), node.get());
     nodes_.push_back(std::move(node));
@@ -83,6 +87,48 @@ Client* System::AddClient() {
   env_.network().Register(id, index % config_.num_partitions, client.get());
   clients_.push_back(std::move(client));
   return clients_.back().get();
+}
+
+void System::CrashReplica(crypto::NodeId id) {
+  assert(id < nodes_.size());
+  nodes_[id]->Halt();
+  env_.network().Disconnect(id);
+}
+
+storage::RecoverOptions System::RecoverOptionsFor(crypto::NodeId id) const {
+  storage::RecoverOptions opts;
+  opts.verifier = &scheme_.verifier();
+  opts.member_ids = config_.ClusterMembers(config_.PartitionOfNode(id));
+  opts.required_signatures = config_.certificate_size();
+  return opts;
+}
+
+Status System::RestartReplica(crypto::NodeId id) {
+  assert(id < nodes_.size());
+  if (config_.storage_kind != storage::StorageKind::kPaged) {
+    return Status::FailedPrecondition(
+        "RestartReplica requires a durable storage backend");
+  }
+  // Make sure the predecessor is fully out of the way even if the test
+  // skipped CrashReplica.
+  nodes_[id]->Halt();
+
+  auto fresh = std::make_unique<TransEdgeNode>(
+      config_, id, &env_, scheme_.MakeSigner(id), &scheme_.verifier(),
+      disks_[id].get());
+  Status recovered = fresh->RecoverFromStorage(RecoverOptionsFor(id));
+  if (!recovered.ok()) return recovered;
+
+  // Successor takes over the actor id (Register overwrites) and rejoins
+  // the network; the halted predecessor is parked, not destroyed, since
+  // scheduled closures may still capture it.
+  graveyard_.push_back(std::move(nodes_[id]));
+  env_.network().Register(id, config_.PartitionOfNode(id), fresh.get());
+  env_.network().Reconnect(id);
+  nodes_[id] = std::move(fresh);
+  TransEdgeNode* raw = nodes_[id].get();
+  env_.ScheduleAt(env_.now(), [raw] { raw->OnStart(); });
+  return Status::OK();
 }
 
 TransEdgeNode* System::leader(PartitionId p) {

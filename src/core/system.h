@@ -10,6 +10,7 @@
 #include "core/node.h"
 #include "crypto/signer.h"
 #include "sim/environment.h"
+#include "storage/paged/sim_disk.h"
 
 namespace transedge::core {
 
@@ -73,6 +74,30 @@ class System {
   const SystemConfig& config() const { return config_; }
   const crypto::Verifier& verifier() const { return scheme_.verifier(); }
 
+  /// Replica `id`'s simulated disk (null under the in-memory backend).
+  /// Tests drive fault injection on it directly (Crash modes, CorruptByte)
+  /// before calling RestartReplica.
+  storage::paged::SimDisk* disk(crypto::NodeId id) {
+    return id < disks_.size() ? disks_[id].get() : nullptr;
+  }
+
+  /// Crash-stops replica `id`: the node is halted (drops messages, all
+  /// of its timers become no-ops) and cut from the network. Its disk is
+  /// left exactly as-is — tests choose what the power loss does to the
+  /// unsynced write cache via disk(id)->Crash(...).
+  void CrashReplica(crypto::NodeId id);
+
+  /// Replaces a crashed replica with a fresh node recovering from the
+  /// same disk (checkpoint + WAL replay, certificate-verified). The old
+  /// node object is parked in a graveyard (sim closures may still hold
+  /// it); the successor takes over the actor id and reconnects. Returns
+  /// the recovery status — on failure the replica stays down.
+  Status RestartReplica(crypto::NodeId id);
+
+  /// The RecoverOptions a replica of this deployment recovers with
+  /// (cluster verifier + membership + certificate quorum).
+  storage::RecoverOptions RecoverOptionsFor(crypto::NodeId id) const;
+
   // Aggregate statistics across all nodes (for benches).
   uint64_t TotalLocalCommitted() const;
   uint64_t TotalDistCommitted() const;
@@ -84,7 +109,15 @@ class System {
   SystemConfig config_;
   sim::Environment env_;
   crypto::HmacSignatureScheme scheme_;
+  /// One disk per replica under StorageKind::kPaged (indexed by node
+  /// id; empty under the in-memory backend). Owned here so a disk
+  /// outlives crash-restart cycles of the node using it.
+  std::vector<std::unique_ptr<storage::paged::SimDisk>> disks_;
   std::vector<std::unique_ptr<TransEdgeNode>> nodes_;
+  /// Halted predecessors of restarted replicas: already-scheduled sim
+  /// closures may still reference them, so they must live as long as
+  /// the environment.
+  std::vector<std::unique_ptr<TransEdgeNode>> graveyard_;
   std::vector<std::unique_ptr<Client>> clients_;
   bool started_ = false;
 };

@@ -36,6 +36,11 @@ class TwoPcCoordinator {
     std::function<Status(const Transaction&)> admit_prepared;
     /// Size-triggered proposal check after enqueueing a participant txn.
     std::function<void()> maybe_propose;
+    /// True while the id's footprint is still held by admission: admitted
+    /// here and neither applied nor abandoned. Distinguishes an in-flight
+    /// prepare (report follows its batch) from a final no-vote when a
+    /// resuming coordinator re-asks for our vote.
+    std::function<bool(TxnId)> in_flight;
   };
 
   TwoPcCoordinator(NodeContext* ctx, Hooks hooks);
@@ -55,24 +60,39 @@ class TwoPcCoordinator {
 
   /// A new view was adopted. Two cleanups keep distributed transactions
   /// from stranding across the leader handover (ROADMAP's stranded-2PC
-  /// item, simple variant):
+  /// item, resume variant):
   ///
   ///   - A *demoted* coordinator drops every coordinator entry it still
-  ///     holds and abort-replies the waiting clients (retryable): it can
-  ///     drive none of them any further — votes route to the new leader,
-  ///     and even an already-collected decision only reaches clients and
-  ///     participants through the leader-only OnBatchApplied path. A
-  ///     (re-elected) leader drops only undecided admissions the view
-  ///     change wiped from the pipeline's queues (never logged, never
-  ///     decidable), mirroring the pipeline's handling of local waiting
-  ///     clients.
-  ///   - The *new* leader unilaterally aborts undecided prepare groups
-  ///     coordinated by this partition that it holds no coordination
-  ///     state for (they were driven by the demoted leader): it records
-  ///     an abort decision so the group drains through the next batch's
-  ///     committed segment, and fans the abort to the participants when
-  ///     that batch applies.
+  ///     holds: it can drive none of them any further — votes route to
+  ///     the new leader, and even an already-collected decision only
+  ///     reaches clients and participants through the leader-only
+  ///     OnBatchApplied path. Entries whose prepare already reached the
+  ///     replicated prepared-batches structure are dropped *silently*
+  ///     (the new leader resumes them and the client's timeout retry
+  ///     reattaches, so the transaction can still commit); only
+  ///     never-logged admissions — wiped from the pipeline's queues by
+  ///     the view change, never decidable — are abort-replied
+  ///     (retryable). A (re-elected) leader keeps everything it can
+  ///     still drive.
+  ///   - The *new* leader *resumes* undecided prepare groups coordinated
+  ///     by this partition that it holds no coordination state for (they
+  ///     were driven by the demoted leader): it rebuilds the coordinator
+  ///     entry from the logged prepare batch — own yes-vote, CD vector,
+  ///     and certificate all come from the log entry — and re-sends the
+  ///     coordinator-prepares with the `resend` flag so participants
+  ///     re-report their votes from replicated state. Only when the
+  ///     prepare batch has fallen below the history horizon (no
+  ///     certificate left to re-prove with) does it fall back to a
+  ///     unilateral abort.
   void OnViewChange();
+
+  /// A client retry landed for a transaction this coordinator owns but
+  /// has no (or an orphaned) client for — the demoted leader took the
+  /// client identity down with it. Attaches `client` to the live
+  /// coordination entry, or answers immediately when the resumed
+  /// transaction already decided and applied. False when the id is not
+  /// ours — the caller proceeds with ordinary admission/dedup.
+  bool ReattachClient(TxnId txn_id, sim::ActorId client);
 
   const Stats& stats() const { return stats_; }
 
@@ -87,6 +107,12 @@ class TwoPcCoordinator {
 
   void MaybeDecide2pc(TxnId txn_id);
 
+  /// New-leader side of the handover: rebuilds a coordinator entry for
+  /// an inherited pending transaction and re-solicits the participant
+  /// votes (resume), or records a unilateral abort when the prepare
+  /// batch is no longer in the log.
+  void ResumeCoordination(const Transaction& txn, sim::Time at);
+
   NodeContext* ctx_;
   Hooks hooks_;
 
@@ -94,10 +120,9 @@ class TwoPcCoordinator {
   /// abort replies, so iteration order must be deterministic.
   std::map<TxnId, CoordinatorTxn> coord_txns_;
   std::unordered_set<TxnId> participant_pending_;  // We prepared, not coord.
-  /// Transactions this (new) leader unilaterally aborted on view
-  /// adoption, kept so the abort's commit record can still be fanned out
-  /// to the participants (there is no CoordinatorTxn entry to consult).
-  std::unordered_map<TxnId, Transaction> unilateral_aborts_;
+  /// Outcomes of resumed transactions that decided while orphaned (no
+  /// client attached): the client's timeout retry is answered from here.
+  std::unordered_map<TxnId, bool> orphan_outcomes_;
   Stats stats_;
 };
 

@@ -24,6 +24,7 @@ void CommitRecord::EncodeTo(Encoder* enc) const {
   enc->PutI64(prepared_in_batch);
   enc->PutU32(static_cast<uint32_t>(participant_info.size()));
   for (const PreparedInfo& info : participant_info) info.EncodeTo(enc);
+  enc->PutU32(coordinator);
 }
 
 Result<CommitRecord> CommitRecord::DecodeFrom(Decoder* dec) {
@@ -37,6 +38,7 @@ Result<CommitRecord> CommitRecord::DecodeFrom(Decoder* dec) {
     TE_ASSIGN_OR_RETURN(PreparedInfo info, PreparedInfo::DecodeFrom(dec));
     rec.participant_info.push_back(std::move(info));
   }
+  TE_ASSIGN_OR_RETURN(rec.coordinator, dec->GetU32());
   return rec;
 }
 

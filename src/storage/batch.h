@@ -38,6 +38,9 @@ struct CommitRecord {
   /// Batch at *this* partition whose prepared segment holds the txn.
   BatchId prepared_in_batch = kNoBatch;
   std::vector<PreparedInfo> participant_info;
+  /// Partition that coordinated the decision. Only its leader fans the
+  /// record out to participants; everyone else just applies it.
+  PartitionId coordinator = 0;
 
   void EncodeTo(Encoder* enc) const;
   static Result<CommitRecord> DecodeFrom(Decoder* dec);

@@ -1,0 +1,78 @@
+#ifndef TRANSEDGE_STORAGE_PAGED_PAGE_FILE_H_
+#define TRANSEDGE_STORAGE_PAGED_PAGE_FILE_H_
+
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/paged/format.h"
+#include "storage/paged/sim_disk.h"
+#include "storage/storage_backend.h"
+
+namespace transedge::storage::paged {
+
+/// Page-granular access to the pages file: allocation (lowest free page
+/// first, so layouts are replica-deterministic), CRC'd page reads and
+/// writes, payload chains spanning pages, and the ping-pong meta slots.
+/// Pure data-structure I/O against the SimDisk; the owning backend
+/// aggregates `stats` deltas into simulated time at the node layer.
+class PageFile {
+ public:
+  PageFile(SimDisk* disk, uint32_t page_size, StorageIoStats* stats);
+
+  /// Fresh file: no data pages yet, allocation starts at kFirstDataPage.
+  void InitEmpty();
+
+  /// After ReadBestMeta: restore the allocation frontier; pages visited
+  /// by chain reads are registered via MarkUsed, then DeriveFreeList
+  /// computes the free set as frontier-range minus used.
+  void SetFrontier(uint32_t num_pages);
+  void MarkUsed(uint32_t page_id);
+  void DeriveFreeList();
+
+  /// Writes `payload` as a chain of pages (each PageHeader + chunk),
+  /// allocating lowest-free-first. Returns the head page id and fills
+  /// `pages_out` with every page of the chain, in order. `payload` must
+  /// be non-empty.
+  Result<uint32_t> WriteChain(uint64_t lsn, const Bytes& payload,
+                              std::vector<uint32_t>* pages_out);
+
+  /// Follows a chain from `head`, validating every page's CRC, returning
+  /// the concatenated payload; fills `pages_out` with the pages visited.
+  Result<Bytes> ReadChain(uint32_t head, std::vector<uint32_t>* pages_out);
+
+  /// Returns the pages of a chain to the free list.
+  void FreePages(const std::vector<uint32_t>& pages);
+
+  /// Writes `meta` (crc computed here) into slot `generation % 2`. The
+  /// caller is responsible for the surrounding Sync barriers.
+  Status WriteMeta(MetaSlot meta);
+
+  /// Decodes both meta slots and returns the valid one with the highest
+  /// generation; NotFound when neither is valid (fresh or wrecked disk).
+  Result<MetaSlot> ReadBestMeta() const;
+
+  /// fsync of the pages file (checkpoint ordering barrier).
+  void Sync();
+
+  uint32_t num_pages() const { return frontier_; }
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  uint32_t AllocatePage();
+  Result<Bytes> ReadPage(uint32_t page_id, PageHeader* header_out);
+  void WritePage(const PageHeader& header, const uint8_t* payload);
+
+  SimDisk* disk_;
+  uint32_t page_size_;
+  StorageIoStats* stats_;
+  uint32_t frontier_ = kFirstDataPage;  // Pages [kFirstDataPage, frontier_)
+                                        // have been allocated at least once.
+  std::set<uint32_t> free_;             // Allocate *begin() first.
+  std::set<uint32_t> used_;             // Recovery scratch for DeriveFreeList.
+};
+
+}  // namespace transedge::storage::paged
+
+#endif  // TRANSEDGE_STORAGE_PAGED_PAGE_FILE_H_

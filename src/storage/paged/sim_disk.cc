@@ -1,0 +1,101 @@
+#include "storage/paged/sim_disk.h"
+
+#include <algorithm>
+
+namespace transedge::storage::paged {
+
+void SimDisk::Overlay(Bytes* image, uint64_t offset, const uint8_t* data,
+                      size_t len) {
+  if (len == 0) return;
+  size_t end = static_cast<size_t>(offset) + len;
+  if (image->size() < end) image->resize(end, 0);
+  std::copy(data, data + len, image->begin() + static_cast<size_t>(offset));
+}
+
+void SimDisk::WriteAt(int file, uint64_t offset, const uint8_t* data,
+                      size_t len) {
+  File& f = files_[file];
+  Overlay(&f.visible, offset, data, len);
+  PendingWrite w;
+  w.op = next_op_++;
+  w.file = file;
+  w.offset = offset;
+  w.data.assign(data, data + len);
+  cache_.push_back(std::move(w));
+}
+
+void SimDisk::Sync(int file) {
+  auto keep = cache_.begin();
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->file == file) {
+      Overlay(&files_[file].durable, it->offset, it->data.data(),
+              it->data.size());
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  cache_.erase(keep, cache_.end());
+}
+
+void SimDisk::SyncAll() {
+  for (const PendingWrite& w : cache_) {
+    Overlay(&files_[w.file].durable, w.offset, w.data.data(), w.data.size());
+  }
+  cache_.clear();
+}
+
+Bytes SimDisk::ReadAt(int file, uint64_t offset, size_t len) const {
+  Bytes out(len, 0);
+  auto it = files_.find(file);
+  if (it == files_.end()) return out;
+  const Bytes& img = it->second.visible;
+  if (offset < img.size()) {
+    size_t n = std::min<size_t>(len, img.size() - static_cast<size_t>(offset));
+    std::copy(img.begin() + static_cast<size_t>(offset),
+              img.begin() + static_cast<size_t>(offset) + n, out.begin());
+  }
+  return out;
+}
+
+uint64_t SimDisk::Size(int file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.visible.size();
+}
+
+uint64_t SimDisk::DurableSize(int file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.durable.size();
+}
+
+void SimDisk::Crash(uint64_t keep_ops, CrashMode mode) {
+  for (const PendingWrite& w : cache_) {
+    size_t survive = 0;
+    if (mode != CrashMode::kNone) {
+      if (w.op < keep_ops) {
+        survive = w.data.size();
+      } else if (w.op == keep_ops && mode == CrashMode::kTorn) {
+        survive = w.data.size() / 2;
+      }
+    }
+    if (survive > 0) {
+      Overlay(&files_[w.file].durable, w.offset, w.data.data(), survive);
+    }
+  }
+  cache_.clear();
+  for (auto& [id, f] : files_) f.visible = f.durable;
+}
+
+void SimDisk::CorruptByte(int file, uint64_t offset) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return;
+  File& f = it->second;
+  if (offset < f.durable.size()) {
+    f.durable[static_cast<size_t>(offset)] ^= 0xFF;
+  }
+  if (offset < f.visible.size()) {
+    f.visible[static_cast<size_t>(offset)] ^= 0xFF;
+  }
+}
+
+}  // namespace transedge::storage::paged

@@ -1,0 +1,100 @@
+#ifndef TRANSEDGE_STORAGE_PAGED_SIM_DISK_H_
+#define TRANSEDGE_STORAGE_PAGED_SIM_DISK_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace transedge::storage::paged {
+
+/// File ids of a replica's disk. Fixed small integers keep the disk a
+/// trivially cloneable value type.
+inline constexpr int kPagesFileId = 0;
+inline constexpr int kWalFileId = 1;
+
+/// A deterministic disk model: a set of sparse byte files, each with a
+/// *durable* image and an ordered cache of not-yet-synced writes. This is
+/// a pure data structure — it never touches clocks, randomness, or host
+/// I/O; simulated I/O *time* is charged by the node from the backend's
+/// `StorageIoStats` deltas, which keeps the sim layering intact and
+/// recovery scenarios replica-deterministic.
+///
+/// Fault injection: `Crash(k, mode)` discards the write cache like a
+/// power loss, optionally surviving a prefix of the cached writes (the
+/// OS flushed some of them on its own) and optionally tearing the write
+/// at the boundary in half (a partial sector write). `CorruptByte` flips
+/// a durable byte for CRC-rejection tests.
+class SimDisk {
+ public:
+  enum class CrashMode {
+    kNone,    // No unsynced write survives.
+    kPrefix,  // Cached writes with op index < keep_ops survive.
+    kTorn,    // kPrefix, plus the first half of op keep_ops's bytes.
+  };
+
+  SimDisk() = default;
+
+  /// Buffers a write (visible to reads immediately, durable after Sync).
+  /// Every write gets the next global op index, shared across files, so
+  /// a crash point is a single number even when the WAL and the page
+  /// file interleave.
+  void WriteAt(int file, uint64_t offset, const uint8_t* data, size_t len);
+  void WriteAt(int file, uint64_t offset, const Bytes& data) {
+    WriteAt(file, offset, data.data(), data.size());
+  }
+
+  /// Makes every cached write of `file` durable (fsync).
+  void Sync(int file);
+  void SyncAll();
+
+  /// Reads `len` bytes of the *visible* image (durable + cached); bytes
+  /// never written read as zero (sparse-file semantics).
+  Bytes ReadAt(int file, uint64_t offset, size_t len) const;
+
+  /// Visible / durable end-of-file offsets.
+  uint64_t Size(int file) const;
+  uint64_t DurableSize(int file) const;
+
+  /// Total write ops ever buffered; the crash-point sweep iterates
+  /// `keep_ops` over [0, op_count()].
+  uint64_t op_count() const { return next_op_; }
+  size_t unsynced_ops() const { return cache_.size(); }
+
+  /// Power loss: cached writes are discarded except the survivors `mode`
+  /// selects (see CrashMode). The visible image collapses onto the new
+  /// durable image. Deterministic for a given (keep_ops, mode).
+  void Crash(uint64_t keep_ops, CrashMode mode);
+
+  /// Flips one durable byte (and the visible copy) — media corruption.
+  void CorruptByte(int file, uint64_t offset);
+
+  /// Deep copy, including the unsynced cache — the sweep crashes clones
+  /// so one recorded run yields every crash point.
+  SimDisk Clone() const { return *this; }
+
+ private:
+  struct PendingWrite {
+    uint64_t op = 0;
+    int file = 0;
+    uint64_t offset = 0;
+    Bytes data;
+  };
+  struct File {
+    Bytes durable;
+    Bytes visible;
+  };
+
+  static void Overlay(Bytes* image, uint64_t offset, const uint8_t* data,
+                      size_t len);
+
+  std::map<int, File> files_;
+  std::vector<PendingWrite> cache_;  // Ordered by op.
+  uint64_t next_op_ = 0;
+};
+
+}  // namespace transedge::storage::paged
+
+#endif  // TRANSEDGE_STORAGE_PAGED_SIM_DISK_H_

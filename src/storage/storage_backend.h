@@ -1,0 +1,140 @@
+#ifndef TRANSEDGE_STORAGE_STORAGE_BACKEND_H_
+#define TRANSEDGE_STORAGE_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "storage/smr_log.h"
+#include "storage/storage_kind.h"
+#include "storage/versioned_store.h"
+
+namespace transedge::storage {
+
+namespace paged {
+class SimDisk;
+}  // namespace paged
+
+/// Cumulative I/O counters a backend reports. The node charges simulated
+/// time from the *deltas* between hook calls (mirroring how the apply
+/// queue charges `apply_cpu_`), so the backend itself stays a pure data
+/// structure with no notion of time. The in-memory backend leaves every
+/// counter at zero — zero counters, zero charges, bit-identical runs.
+struct StorageIoStats {
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_syncs = 0;
+  uint64_t pages_written = 0;
+  uint64_t page_bytes_written = 0;
+  uint64_t pages_read = 0;
+  uint64_t file_syncs = 0;  // Page-file sync barriers (checkpoint flush).
+  uint64_t checkpoints = 0;
+  uint64_t wal_records_replayed = 0;  // Recovery only.
+};
+
+/// Certificate checking during recovery. With a null verifier the replay
+/// trusts the on-disk CRCs alone (unit tests); a restarted replica passes
+/// its cluster's verifier so a tampered-but-recrc'd log entry cannot
+/// resurrect.
+struct RecoverOptions {
+  const crypto::Verifier* verifier = nullptr;
+  std::vector<crypto::NodeId> member_ids;
+  size_t required_signatures = 0;
+};
+
+/// What `Recover` re-established. `checkpoint_applied`/`checkpoint_root`
+/// describe the durable checkpoint; entries beyond it were re-applied
+/// from WAL records + certificates, so the post-recovery watermark is
+/// `log().LastBatchId()` (the durable WAL tail — possibly *ahead* of the
+/// crashed replica's applied watermark, never behind the checkpoint).
+struct RecoveredState {
+  BatchId checkpoint_applied = kNoBatch;
+  crypto::Digest checkpoint_root;
+};
+
+/// The seam under the replica's storage stack. The node owns exactly one
+/// backend and reaches the store/log only through it; durability hooks
+/// (`OnDecided`, `OnApplied`, `TruncateHistory`) are called at the same
+/// points the monolithic code mutated the in-memory structures, so an
+/// engine can persist without the node knowing how.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual StorageKind kind() const = 0;
+
+  virtual VersionedStore& store() = 0;
+  virtual const VersionedStore& store() const = 0;
+  virtual SmrLog& log() = 0;
+  virtual const SmrLog& log() const = 0;
+
+  /// Installs the pre-replicated initial state (before the sim starts).
+  /// `root` is the Merkle root over that state; durable engines persist
+  /// both as checkpoint generation 0.
+  virtual void Preload(const VersionedStore& store,
+                       const crypto::Digest& root) = 0;
+
+  /// Called right after consensus appended `log().back()`. Durable
+  /// engines append the entry to the WAL (fsync per the group-commit
+  /// tuning) — this is the decision-critical-path durability cost.
+  virtual void OnDecided() {}
+
+  /// Called after batch `last_applied`'s writes reached the store with
+  /// `root` the applied Merkle root. Durable engines mark dirty buckets
+  /// and periodically checkpoint (copy-on-write page flush + meta flip).
+  virtual void OnApplied(BatchId last_applied, const crypto::Digest& root) {
+    (void)last_applied;
+    (void)root;
+  }
+
+  /// The one authoritative history horizon (the node passes its snapshot
+  /// base): key versions strictly older than the latest one at or below
+  /// `horizon` are dropped AND log entries below `horizon` become
+  /// unavailable, under every engine. Catch-up and the read-only
+  /// out-of-window rejection are bounded by the same number.
+  virtual void TruncateHistory(BatchId horizon) = 0;
+
+  /// Rebuilds store + log from durable state (checkpoint + WAL replay).
+  /// Entries beyond the checkpoint re-apply their writes from the log
+  /// entry itself. Only meaningful on a freshly constructed backend.
+  virtual Result<RecoveredState> Recover(const RecoverOptions& opts) = 0;
+
+  virtual const StorageIoStats& io_stats() const = 0;
+};
+
+/// The default engine: exactly the structures the node used to own.
+class InMemoryBackend : public StorageBackend {
+ public:
+  InMemoryBackend() = default;
+
+  StorageKind kind() const override { return StorageKind::kInMemory; }
+  VersionedStore& store() override { return store_; }
+  const VersionedStore& store() const override { return store_; }
+  SmrLog& log() override { return log_; }
+  const SmrLog& log() const override { return log_; }
+
+  void Preload(const VersionedStore& store,
+               const crypto::Digest& root) override;
+  void TruncateHistory(BatchId horizon) override;
+  Result<RecoveredState> Recover(const RecoverOptions& opts) override;
+  const StorageIoStats& io_stats() const override { return stats_; }
+
+ private:
+  VersionedStore store_;
+  SmrLog log_;
+  StorageIoStats stats_;  // Always zero: no I/O, no simulated time.
+};
+
+/// Factory, `MakeConsensus`-style. `disk` is borrowed and must outlive
+/// the backend; it is ignored (may be null) for the in-memory engine and
+/// required for the paged one.
+std::unique_ptr<StorageBackend> MakeStorageBackend(StorageKind kind,
+                                                   const StorageTuning& tuning,
+                                                   paged::SimDisk* disk);
+
+}  // namespace transedge::storage
+
+#endif  // TRANSEDGE_STORAGE_STORAGE_BACKEND_H_

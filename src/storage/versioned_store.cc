@@ -51,6 +51,14 @@ BatchId VersionedStore::LatestVersion(const Key& key) const {
   return it->second.back().version;
 }
 
+void VersionedStore::ForEachLatest(
+    const std::function<void(const Key&, const Value&, BatchId)>& fn) const {
+  for (const auto& [key, chain] : chains_) {
+    if (chain.empty()) continue;
+    fn(key, chain.back().value, chain.back().version);
+  }
+}
+
 size_t VersionedStore::TruncateHistory(BatchId horizon) {
   size_t dropped = 0;
   for (auto& [key, chain] : chains_) {

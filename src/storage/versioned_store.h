@@ -1,6 +1,7 @@
 #ifndef TRANSEDGE_STORAGE_VERSIONED_STORE_H_
 #define TRANSEDGE_STORAGE_VERSIONED_STORE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,6 +48,12 @@ class VersionedStore {
   /// version <= `horizon`, bounding history growth. Returns the number
   /// of versions dropped.
   size_t TruncateHistory(BatchId horizon);
+
+  /// Visits the latest version of every key, in sorted key order (so the
+  /// traversal is canonical across replicas). Used by durable backends
+  /// to checkpoint and by recovery to rebuild the Merkle tree.
+  void ForEachLatest(
+      const std::function<void(const Key&, const Value&, BatchId)>& fn) const;
 
   size_t key_count() const { return chains_.size(); }
   size_t total_versions() const { return total_versions_; }

@@ -116,6 +116,15 @@ const Transaction* PreparedBatches::FindTxn(TxnId txn_id) const {
   return nullptr;
 }
 
+BatchId PreparedBatches::GroupOf(TxnId txn_id) const {
+  for (const PrepareGroup& group : groups_) {
+    for (const PendingTxn& pending : group.txns) {
+      if (pending.txn.id == txn_id) return group.prepared_in_batch;
+    }
+  }
+  return kNoBatch;
+}
+
 bool PreparedBatches::Contains(TxnId txn_id) const {
   for (const PrepareGroup& group : groups_) {
     for (const PendingTxn& pending : group.txns) {

@@ -99,6 +99,12 @@ class PreparedBatches {
   /// records while applying a batch.
   const Transaction* FindTxn(TxnId txn_id) const;
 
+  /// The batch the group holding `txn_id` was prepared in, or kNoBatch
+  /// when no registered group contains it. A leader resuming an
+  /// inherited prepare group uses this to fetch the prepare batch's
+  /// certificate and CD vector from the log.
+  BatchId GroupOf(TxnId txn_id) const;
+
   size_t group_count() const { return groups_.size(); }
   size_t pending_txn_count() const;
 

@@ -315,6 +315,11 @@ struct LinearCatchUpMsg : TypedMessage<MessageType::kLinearCatchUp> {
   storage::BatchCertificate cert;
   uint64_t view = 0;
   crypto::SignatureSet view_proof;
+  /// Oldest batch id the sender's log still retains (history below the
+  /// snapshot horizon is truncated): a peer lagging below this cannot be
+  /// caught up entry-by-entry and must recover from durable storage
+  /// instead of parking on an unfillable gap.
+  BatchId first_retained = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -328,6 +333,10 @@ struct CoordPrepareMsg : TypedMessage<MessageType::kCoordPrepare> {
   Transaction txn;
   PartitionId coordinator = 0;
   storage::BatchCertificate proof;
+  /// Set only by a leader resuming an inherited prepare group after a
+  /// view change: participants re-report their vote from replicated
+  /// state instead of treating the message as a duplicate.
+  bool resend = false;
 };
 
 /// Participant's prepared message (§3.3.3, step 5): its vote, the batch

@@ -202,12 +202,14 @@ void EncodeBody(const LinearCatchUpMsg& msg, Encoder* enc) {
   msg.cert.EncodeTo(enc);
   enc->PutU64(msg.view);
   msg.view_proof.EncodeTo(enc);
+  enc->PutI64(msg.first_retained);
 }
 
 void EncodeBody(const CoordPrepareMsg& msg, Encoder* enc) {
   msg.txn.EncodeTo(enc);
   enc->PutU32(msg.coordinator);
   msg.proof.EncodeTo(enc);
+  enc->PutBool(msg.resend);
 }
 
 void EncodeBody(const PreparedMsg& msg, Encoder* enc) {
@@ -525,6 +527,7 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->view, d->GetU64());
         TE_ASSIGN_OR_RETURN(m->view_proof,
                             crypto::SignatureSet::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->first_retained, d->GetI64());
         return Status::OK();
       });
     case MessageType::kCoordPrepare:
@@ -533,6 +536,7 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
         TE_ASSIGN_OR_RETURN(m->coordinator, d->GetU32());
         TE_ASSIGN_OR_RETURN(m->proof,
                             storage::BatchCertificate::DecodeFrom(d));
+        TE_ASSIGN_OR_RETURN(m->resend, d->GetBool());
         return Status::OK();
       });
     case MessageType::kPrepared:

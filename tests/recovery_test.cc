@@ -1,0 +1,252 @@
+// Crash-recovery scenario family: a replica of a live deployment is
+// crash-stopped, its simulated disk suffers a configurable power-loss
+// fault, and a successor recovers from checkpoint + WAL and rejoins the
+// cluster. Also pins engine invariance: the same workload commits to the
+// same state under every storage_kind x consensus_kind combination.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "storage/paged/format.h"
+#include "workload/generator.h"
+
+namespace transedge {
+namespace {
+
+using core::Client;
+using core::ConsensusKind;
+using core::RwResult;
+using core::System;
+using core::SystemConfig;
+using storage::StorageKind;
+using storage::paged::SimDisk;
+
+SystemConfig PagedConfig(ConsensusKind consensus) {
+  SystemConfig config;
+  config.num_partitions = 1;
+  config.f = 1;  // 4 replicas.
+  config.consensus_kind = consensus;
+  config.storage_kind = StorageKind::kPaged;
+  config.durability.checkpoint_interval = 8;
+  config.batch_interval = sim::Millis(5);
+  config.merkle_depth = 10;
+  // No traffic flows while the replica is down; keep the idle cluster
+  // from rotating leaders in the meantime.
+  config.view_change_timeout = sim::Seconds(5);
+  return config;
+}
+
+sim::EnvironmentOptions FastEnv() {
+  sim::EnvironmentOptions opts;
+  opts.seed = 7;
+  opts.inter_site_latency = sim::Millis(2);
+  return opts;
+}
+
+std::vector<std::pair<Key, Value>> TestData(uint32_t partitions) {
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = 200;
+  wopts.value_size = 16;
+  workload::KeySpace keys(wopts, partitions);
+  return keys.InitialData();
+}
+
+/// Issues one blind write per key at fixed times; the results land in
+/// `out` (same order as `keys`).
+void ScheduleWrites(System* system, Client* client,
+                    const std::vector<Key>& keys, const std::string& prefix,
+                    sim::Time first_at,
+                    std::vector<std::optional<RwResult>>* out) {
+  size_t base = out->size();
+  out->resize(base + keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Key key = keys[i];
+    Value value = ToBytes(prefix + std::to_string(i));
+    system->env().ScheduleAt(first_at + sim::Millis(20 * i), [=] {
+      client->ExecuteReadWrite({}, {WriteOp{key, value}}, [out, base, i](
+                                                              RwResult r) {
+        (*out)[base + i] = std::move(r);
+      });
+    });
+  }
+}
+
+/// The shared scenario: run traffic, crash replica (0, 3) with `fault`
+/// applied to its disk, restart it, run more traffic, and require the
+/// restarted replica to converge on the cluster's state.
+void RunCrashRestartScenario(ConsensusKind consensus,
+                             SimDisk::CrashMode mode, uint64_t keep_from_end) {
+  SystemConfig config = PagedConfig(consensus);
+  System system(config, FastEnv());
+  auto data = TestData(config.num_partitions);
+  system.Preload(data);
+  system.Start();
+  Client* client = system.AddClient();
+
+  std::vector<Key> phase1, phase2;
+  for (size_t i = 0; i < 5; ++i) phase1.push_back(data[i].first);
+  for (size_t i = 5; i < 10; ++i) phase2.push_back(data[i].first);
+
+  std::vector<std::optional<RwResult>> results;
+  ScheduleWrites(&system, client, phase1, "p1-", sim::Millis(50), &results);
+  system.env().RunUntil(sim::Millis(500));
+
+  const crypto::NodeId victim = config.ReplicaNode(0, 3);
+  system.CrashReplica(victim);
+  SimDisk* disk = system.disk(victim);
+  ASSERT_NE(disk, nullptr);
+  ASSERT_GE(disk->op_count(), keep_from_end);
+  disk->Crash(disk->op_count() - keep_from_end, mode);
+  system.env().RunUntil(sim::Millis(600));
+
+  Status restarted = system.RestartReplica(victim);
+  ASSERT_TRUE(restarted.ok()) << restarted;
+
+  ScheduleWrites(&system, client, phase2, "p2-", sim::Millis(700), &results);
+  system.env().RunUntil(sim::Seconds(4));
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value()) << "write " << i << " never finished";
+    EXPECT_TRUE(results[i]->committed) << "write " << i << ": "
+                                       << results[i]->reason;
+  }
+
+  // The restarted replica holds every write — including the phase-2
+  // batches decided after its recovery (and, under a torn tail, the
+  // batch it lost and had to catch up on).
+  const core::TransEdgeNode* revived = system.node(0, 3);
+  for (size_t i = 0; i < phase1.size(); ++i) {
+    auto value = revived->store().Get(phase1[i]);
+    ASSERT_TRUE(value.ok()) << phase1[i];
+    EXPECT_EQ(ToString(value->value), "p1-" + std::to_string(i));
+  }
+  for (size_t i = 0; i < phase2.size(); ++i) {
+    auto value = revived->store().Get(phase2[i]);
+    ASSERT_TRUE(value.ok()) << phase2[i];
+    EXPECT_EQ(ToString(value->value), "p2-" + std::to_string(i));
+  }
+
+  // And it converged on the exact certified tip of the cluster.
+  const auto& leader_log = system.node(0, 0)->log();
+  const auto& revived_log = revived->log();
+  EXPECT_EQ(revived_log.LastBatchId(), leader_log.LastBatchId());
+  EXPECT_TRUE(revived_log.back().certificate.merkle_root ==
+              leader_log.back().certificate.merkle_root);
+}
+
+TEST(RecoveryTest, CleanCrashRestartRejoinsUnderLinearVote) {
+  RunCrashRestartScenario(ConsensusKind::kLinearVote,
+                          SimDisk::CrashMode::kNone, 0);
+}
+
+TEST(RecoveryTest, CleanCrashRestartRejoinsUnderPbft) {
+  RunCrashRestartScenario(ConsensusKind::kPbft, SimDisk::CrashMode::kNone, 0);
+}
+
+TEST(RecoveryTest, TornWalTailIsDroppedAndCaughtUp) {
+  // Tear the final disk op in half: the WAL record it belonged to fails
+  // its CRC, recovery comes up one batch short, and the replica closes
+  // the gap through consensus catch-up.
+  RunCrashRestartScenario(ConsensusKind::kLinearVote,
+                          SimDisk::CrashMode::kTorn, 1);
+}
+
+TEST(RecoveryTest, CorruptedDiskKeepsReplicaDownButClusterLives) {
+  SystemConfig config = PagedConfig(ConsensusKind::kLinearVote);
+  System system(config, FastEnv());
+  auto data = TestData(config.num_partitions);
+  system.Preload(data);
+  system.Start();
+  Client* client = system.AddClient();
+
+  std::vector<std::optional<RwResult>> results;
+  ScheduleWrites(&system, client, {data[0].first, data[1].first}, "p1-",
+                 sim::Millis(50), &results);
+  system.env().RunUntil(sim::Millis(400));
+
+  const crypto::NodeId victim = config.ReplicaNode(0, 3);
+  system.CrashReplica(victim);
+  SimDisk* disk = system.disk(victim);
+  ASSERT_NE(disk, nullptr);
+  disk->Crash(disk->op_count(), SimDisk::CrashMode::kNone);
+  // Media corruption in a checkpoint data page: recovery must refuse.
+  disk->CorruptByte(storage::paged::kPagesFileId,
+                    static_cast<uint64_t>(storage::paged::kFirstDataPage) *
+                            config.durability.page_size +
+                        storage::paged::kPageHeaderSize + 3);
+  EXPECT_FALSE(system.RestartReplica(victim).ok());
+
+  // The remaining 3 of 4 replicas still form a quorum.
+  ScheduleWrites(&system, client, {data[2].first, data[3].first}, "p2-",
+                 sim::Millis(500), &results);
+  system.env().RunUntil(sim::Seconds(3));
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->committed) << r->reason;
+  }
+}
+
+TEST(RecoveryTest, CommittedStateIsInvariantAcrossEngines) {
+  // The same conflict-free workload must commit everywhere and leave the
+  // same values under every storage x consensus combination; only
+  // timing (I/O charges) may differ.
+  struct Combo {
+    StorageKind storage;
+    ConsensusKind consensus;
+  };
+  const Combo kCombos[] = {
+      {StorageKind::kInMemory, ConsensusKind::kPbft},
+      {StorageKind::kInMemory, ConsensusKind::kLinearVote},
+      {StorageKind::kPaged, ConsensusKind::kPbft},
+      {StorageKind::kPaged, ConsensusKind::kLinearVote},
+  };
+
+  std::vector<Key> keys;
+  std::vector<std::map<Key, std::string>> finals;
+  for (const Combo& combo : kCombos) {
+    SystemConfig config = PagedConfig(combo.consensus);
+    config.storage_kind = combo.storage;
+    System system(config, FastEnv());
+    auto data = TestData(config.num_partitions);
+    system.Preload(data);
+    system.Start();
+    Client* client = system.AddClient();
+
+    if (keys.empty()) {
+      for (size_t i = 0; i < 6; ++i) keys.push_back(data[i].first);
+    }
+    std::vector<std::optional<RwResult>> results;
+    ScheduleWrites(&system, client, keys, "inv-", sim::Millis(50), &results);
+    system.env().RunUntil(sim::Seconds(2));
+
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.has_value());
+      EXPECT_TRUE(r->committed) << r->reason;
+    }
+    std::map<Key, std::string> final_values;
+    for (const Key& key : keys) {
+      auto value = system.node(0, 0)->store().Get(key);
+      ASSERT_TRUE(value.ok());
+      final_values[key] = ToString(value->value);
+    }
+    finals.push_back(std::move(final_values));
+
+    // The disk accessor mirrors the engine choice.
+    if (combo.storage == StorageKind::kPaged) {
+      EXPECT_NE(system.disk(0), nullptr);
+    } else {
+      EXPECT_EQ(system.disk(0), nullptr);
+    }
+  }
+  for (size_t i = 1; i < finals.size(); ++i) {
+    EXPECT_EQ(finals[i], finals[0]) << "combo " << i;
+  }
+}
+
+}  // namespace
+}  // namespace transedge

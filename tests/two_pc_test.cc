@@ -257,17 +257,21 @@ TEST(TwoPcTest, LceIsMonotonicallyNonDecreasing) {
 // ---------------------------------------------------------------------------
 
 // A view change must not strand a distributed transaction whose prepare
-// the demoted leader already logged: the demoted coordinator answers its
-// waiting client with a retryable abort, and the new leader unilaterally
-// aborts the undecided group so every participant cluster's committed
-// segment unblocks. The scenario keeps the old leader alive (it merely
-// stops being heard): its proposals are filtered once the prepare is
-// logged, and the participant's Prepared votes to it are swallowed, so
-// the decision can never be reached in the old view.
+// the demoted leader already logged: the new leader *resumes* the
+// inherited group — it rebuilds coordination state from the logged
+// prepare batch, re-solicits the participant votes with a resend
+// coordinator-prepare, and the participant re-votes yes from its own
+// log. The transaction therefore commits (the old behavior unilaterally
+// aborted it), and the stranded client — silently dropped by the demoted
+// coordinator — is answered through its timeout retry, which reattaches
+// to the resumed coordination entry. The scenario keeps the old leader
+// alive (it merely stops being heard): its proposals are filtered once
+// the prepare is logged, and the participant's Prepared votes to it are
+// swallowed, so the decision can never be reached in the old view.
 class StaleGroupHandoverTest
     : public ::testing::TestWithParam<core::ConsensusKind> {};
 
-TEST_P(StaleGroupHandoverTest, NewLeaderAbortsStrandedCoordinatorGroups) {
+TEST_P(StaleGroupHandoverTest, NewLeaderResumesStrandedCoordinatorGroups) {
   SystemConfig config;
   config.num_partitions = 2;
   config.f = 1;
@@ -371,15 +375,17 @@ TEST_P(StaleGroupHandoverTest, NewLeaderAbortsStrandedCoordinatorGroups) {
   }
   ASSERT_TRUE(view_advanced) << "no view change happened";
 
-  // The stranded client was answered (retryable abort from the demoted
-  // coordinator, then the retry's own outcome) instead of hanging.
+  // The stranded client was answered through its timeout retry — and
+  // with a COMMIT: the resumed group re-collected the participant's
+  // yes-vote instead of aborting work both partitions already prepared.
   ASSERT_TRUE(stranded.has_value()) << "stranded client never answered";
-  // The new leader recorded the unilateral abort.
-  uint64_t dist_aborted = 0;
+  EXPECT_TRUE(stranded->committed)
+      << "resumed group did not commit: " << stranded->reason;
+  uint64_t dist_committed = 0;
   for (uint32_t i = 0; i < config.replicas_per_cluster(); ++i) {
-    dist_aborted += system.node(1, i)->stats().dist_aborted;
+    dist_committed += system.node(1, i)->stats().dist_committed;
   }
-  EXPECT_GE(dist_aborted, 1u);
+  EXPECT_GE(dist_committed, 1u) << "no coordinator counted the resumed commit";
 
   ASSERT_TRUE(local.has_value());
   EXPECT_TRUE(local->committed) << local->reason;

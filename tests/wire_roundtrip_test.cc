@@ -318,6 +318,7 @@ TEST_P(WireRoundTripTest, LinearVoteConsensusMessages) {
     cu.cert = RandCert(rng);
     cu.view = rng.NextBounded(10);
     cu.view_proof = RandSignatureSet(rng);
+    cu.first_retained = static_cast<BatchId>(rng.NextBounded(512));
     CheckRoundTrip(cu);
   }
 }
@@ -329,6 +330,7 @@ TEST_P(WireRoundTripTest, TwoPcMessages) {
     coord.txn = RandTxn(rng);
     coord.coordinator = static_cast<PartitionId>(rng.NextBounded(4));
     coord.proof = RandCert(rng);
+    coord.resend = rng.NextBounded(2) == 1;
     CheckRoundTrip(coord);
 
     PreparedMsg prepared;

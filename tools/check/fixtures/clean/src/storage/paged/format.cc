@@ -1,0 +1,14 @@
+// Fixture: codec in parity with format.h.
+#include "storage/paged/format.h"
+
+void RecHdr::EncodeTo(Encoder* enc) const {
+  enc->PutU32(magic);
+  enc->PutU32(crc);
+}
+
+RecHdr RecHdr::DecodeFrom(Decoder* dec) {
+  RecHdr h;
+  h.magic = dec->GetU32();
+  h.crc = dec->GetU32();
+  return h;
+}

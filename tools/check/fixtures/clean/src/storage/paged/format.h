@@ -1,0 +1,18 @@
+// Fixture: an on-disk record whose codec paths are in parity.
+#ifndef FIXTURE_CLEAN_STORAGE_PAGED_FORMAT_H_
+#define FIXTURE_CLEAN_STORAGE_PAGED_FORMAT_H_
+
+#include <cstdint>
+
+struct Encoder;
+struct Decoder;
+
+struct RecHdr {
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+
+  void EncodeTo(Encoder* enc) const;
+  static RecHdr DecodeFrom(Decoder* dec);
+};
+
+#endif  // FIXTURE_CLEAN_STORAGE_PAGED_FORMAT_H_

@@ -1,0 +1,14 @@
+// Fixture: codec with drifted fields (see format.h).
+#include "storage/paged/format.h"
+
+void DriftHdr::EncodeTo(Encoder* enc) const {
+  enc->PutU32(a);
+  enc->PutU32(b);
+}
+
+DriftHdr DriftHdr::DecodeFrom(Decoder* dec) {
+  DriftHdr h;
+  h.a = dec->GetU32();
+  h.c = dec->GetU32();
+  return h;
+}

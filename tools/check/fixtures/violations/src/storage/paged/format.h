@@ -1,0 +1,39 @@
+// Fixture: on-disk field drift in both directions.
+#ifndef FIXTURE_STORAGE_PAGED_FORMAT_H_
+#define FIXTURE_STORAGE_PAGED_FORMAT_H_
+
+#include <cstdint>
+
+struct Encoder;
+struct Decoder;
+
+struct DriftHdr {
+  uint32_t a = 0;
+  uint32_t b = 0;  // Encoded, never decoded.
+  uint32_t c = 0;  // Decoded, never encoded.
+  uint32_t pad = 0;  // Missing from both paths.
+
+  void EncodeTo(Encoder* enc) const;
+  static DriftHdr DecodeFrom(Decoder* dec);
+};
+
+// check:allow(page-format-parity): fixture: in-memory scratch header.
+struct GhostHdr {
+  uint32_t x = 0;
+
+  void EncodeTo(Encoder* enc) const;
+};
+
+struct OrphanHdr {
+  uint32_t y = 0;  // No codec definitions: both directions must fail.
+
+  void EncodeTo(Encoder* enc) const;
+  static OrphanHdr DecodeFrom(Decoder* dec);
+};
+
+// A struct without EncodeTo is outside the on-disk contract.
+struct RuntimeOnly {
+  uint32_t z = 0;
+};
+
+#endif  // FIXTURE_STORAGE_PAGED_FORMAT_H_

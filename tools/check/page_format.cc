@@ -1,0 +1,190 @@
+#include "check/page_format.h"
+
+#include <cctype>
+#include <set>
+#include <vector>
+
+namespace transedge::check {
+
+namespace {
+
+constexpr const char* kRule = "page-format-parity";
+
+struct Field {
+  std::string name;
+  int line = 0;
+};
+
+struct RecordStruct {
+  std::string name;
+  int line = 0;  // Line of the `struct` keyword.
+  std::vector<Field> fields;
+};
+
+/// Parses `struct X { fields...; void EncodeTo(...); ... };`
+/// declarations, keeping only structs that declare an `EncodeTo` member
+/// — those are the on-disk record types the parity contract covers.
+std::vector<RecordStruct> ParseRecordStructs(const SourceFile& header) {
+  std::vector<RecordStruct> out;
+  const std::vector<Token>& toks = header.tokens();
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "struct") continue;
+    RecordStruct rec;
+    rec.name = toks[i + 1].text;
+    rec.line = toks[i].line;
+
+    // Skip to the opening brace; a `;` first means a forward declaration.
+    size_t j = i + 2;
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text == ";") continue;
+    size_t body_start = ++j;
+    int depth = 1;
+    size_t body_end = body_start;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) {
+        body_end = j;
+        break;
+      }
+    }
+
+    // Fields: depth-1 statements `Type name;` / `Type name = init;`.
+    // Statements containing parens (the EncodeTo/DecodeFrom/operator==
+    // members) are not data fields and are skipped.
+    bool has_encode_to = false;
+    std::vector<Token> stmt;
+    depth = 1;
+    for (size_t k = body_start; k < body_end; ++k) {
+      if (toks[k].text == "{") ++depth;
+      if (toks[k].text == "}") --depth;
+      if (depth > 1) continue;
+      if (toks[k].text == "EncodeTo") has_encode_to = true;
+      if (toks[k].text == ";") {
+        bool has_paren = false;
+        size_t eq = stmt.size();
+        for (size_t s = 0; s < stmt.size(); ++s) {
+          if (stmt[s].text == "(") has_paren = true;
+          if (stmt[s].text == "=" && eq == stmt.size()) eq = s;
+        }
+        if (!has_paren && !stmt.empty()) {
+          // The declared name is the last identifier before `=`/`;`.
+          for (size_t s = eq; s-- > 0;) {
+            char c0 = stmt[s].text[0];
+            if (std::isalpha(static_cast<unsigned char>(c0)) || c0 == '_') {
+              rec.fields.push_back(Field{stmt[s].text, stmt[s].line});
+              break;
+            }
+          }
+        }
+        stmt.clear();
+      } else {
+        stmt.push_back(toks[k]);
+      }
+    }
+    if (has_encode_to) out.push_back(std::move(rec));
+    i = body_end;
+  }
+  return out;
+}
+
+/// Identifiers appearing in the body of `Name::<method>(...)`, or an
+/// empty set and found=false when no such definition exists.
+std::set<std::string> MethodBodyIdents(const SourceFile& impl,
+                                       const std::string& name,
+                                       const std::string& method,
+                                       bool* found) {
+  *found = false;
+  const std::vector<Token>& toks = impl.tokens();
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text != name || toks[i + 1].text != "::" ||
+        toks[i + 2].text != method || toks[i + 3].text != "(") {
+      continue;
+    }
+    // Skip to the body's opening brace (a declaration would hit `;`).
+    size_t j = i + 4;
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text == ";") continue;
+    *found = true;
+    std::set<std::string> idents;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) break;
+      idents.insert(toks[j].text);
+    }
+    return idents;
+  }
+  return {};
+}
+
+void Report(const SourceFile& header, int line, std::string message,
+            RunResult* result) {
+  Finding f{header.rel_path(), line, kRule, std::move(message)};
+  if (header.IsAllowed(kRule, line)) {
+    std::string reason = "annotated";
+    for (const AllowAnnotation& a : header.allows()) {
+      if (a.rule == kRule && a.line <= line && line - a.line <= 8) {
+        reason = a.reason;
+      }
+    }
+    result->AddSuppressed(std::move(f), reason);
+  } else {
+    result->Add(std::move(f));
+  }
+}
+
+}  // namespace
+
+void CheckPageFormat(const std::map<std::string, SourceFile>& files,
+                     RunResult* result) {
+  auto header_it = files.find("src/storage/paged/format.h");
+  auto impl_it = files.find("src/storage/paged/format.cc");
+  if (header_it == files.end() || impl_it == files.end()) return;
+  const SourceFile& header = header_it->second;
+  const SourceFile& impl = impl_it->second;
+
+  for (const RecordStruct& rec : ParseRecordStructs(header)) {
+    // A struct annotated at its declaration never hits disk.
+    if (header.IsAllowed(kRule, rec.line)) {
+      Report(header, rec.line, rec.name + " exempt from page-format parity",
+             result);
+      continue;
+    }
+    bool has_enc = false;
+    bool has_dec = false;
+    std::set<std::string> enc =
+        MethodBodyIdents(impl, rec.name, "EncodeTo", &has_enc);
+    std::set<std::string> dec =
+        MethodBodyIdents(impl, rec.name, "DecodeFrom", &has_dec);
+    if (!has_enc) {
+      Report(header, rec.line,
+             rec.name + " has no " + rec.name +
+                 "::EncodeTo(Encoder*) definition in storage/paged/format.cc",
+             result);
+    }
+    if (!has_dec) {
+      Report(header, rec.line,
+             rec.name + " has no " + rec.name +
+                 "::DecodeFrom(Decoder*) definition in "
+                 "storage/paged/format.cc",
+             result);
+    }
+    if (!has_enc || !has_dec) continue;
+
+    for (const Field& field : rec.fields) {
+      bool in_enc = enc.count(field.name) > 0;
+      bool in_dec = dec.count(field.name) > 0;
+      if (in_enc && in_dec) continue;
+      std::string where = !in_enc && !in_dec
+                              ? "missing from both EncodeTo and DecodeFrom"
+                          : !in_enc ? "decoded but never encoded"
+                                    : "encoded but never decoded";
+      Report(header, field.line,
+             "field '" + field.name + "' of " + rec.name + " is " + where +
+                 " (storage/paged/format.cc)",
+             result);
+    }
+  }
+}
+
+}  // namespace transedge::check

@@ -1,0 +1,32 @@
+#ifndef TRANSEDGE_TOOLS_CHECK_PAGE_FORMAT_H_
+#define TRANSEDGE_TOOLS_CHECK_PAGE_FORMAT_H_
+
+#include <map>
+#include <string>
+
+#include "check/report.h"
+#include "check/source.h"
+
+namespace transedge::check {
+
+/// Page-format parity checker (rule `page-format-parity`).
+///
+/// The wire-parity rule's twin for the on-disk format: parses every
+/// struct in `src/storage/paged/format.h` that declares an `EncodeTo`
+/// member (PageHeader, MetaSlot, WalRecordHeader, and any future record
+/// type) and verifies each data field appears in both the
+/// `X::EncodeTo(Encoder*)` and `X::DecodeFrom(Decoder*)` definitions in
+/// `src/storage/paged/format.cc`. A field added to a header struct but
+/// forgotten in either codec path — the drift that silently corrupts
+/// files written by one build and read by another — fails the check in
+/// either direction.
+///
+/// A field that intentionally never hits disk carries
+/// `// check:allow(page-format-parity): <why>`; a whole struct that is
+/// in-memory only carries the same annotation above its declaration.
+void CheckPageFormat(const std::map<std::string, SourceFile>& files,
+                     RunResult* result);
+
+}  // namespace transedge::check
+
+#endif  // TRANSEDGE_TOOLS_CHECK_PAGE_FORMAT_H_
