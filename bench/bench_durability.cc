@@ -162,11 +162,11 @@ std::vector<RecoveryPoint> RunRecoverySweep(uint32_t checkpoint_interval,
       point.reapply_window = static_cast<double>(tail - rec->checkpoint_applied);
       point.reapplied_txns = static_cast<double>(reapplied_txns);
       // Price the restart with the node's I/O cost model: page reads for
-      // the checkpoint, wal_append per replayed record (the model has no
-      // separate WAL-read rate), and apply cost for the re-apply window.
+      // the checkpoint, wal_read per replayed record, and apply cost for
+      // the re-apply window.
       sim::Time t = static_cast<sim::Time>(io.pages_read) * cost.page_read +
                     static_cast<sim::Time>(io.wal_records_replayed) *
-                        cost.wal_append +
+                        cost.wal_read +
                     static_cast<sim::Time>(reapplied_txns) *
                         cost.apply_per_txn;
       point.recovery_ms = static_cast<double>(t) / 1e3;

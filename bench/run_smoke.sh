@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_smoke.json}
 
-for bench in bench_fig04_ro_latency bench_shard_scaling bench_consensus_compare bench_apply_pipeline bench_durability; do
+for bench in bench_fig04_ro_latency bench_shard_scaling bench_consensus_compare bench_apply_pipeline bench_durability bench_watch_fanout; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "error: $BUILD_DIR/$bench not built" >&2
     echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -24,6 +24,7 @@ shard_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_shard_scaling" | grep '^{')
 consensus_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_consensus_compare" | grep '^{')
 apply_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_apply_pipeline" | grep '^{')
 durability_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_durability" | grep '^{')
+watch_json=$(TRANSEDGE_SMOKE=1 "$BUILD_DIR/bench_watch_fanout" | grep '^{')
 
 # bench_micro is optional (needs google-benchmark); emit native JSON when
 # present, a placeholder otherwise.
@@ -55,6 +56,9 @@ fi
   echo ','
   echo '"durability":'
   echo "$durability_json"
+  echo ','
+  echo '"watch_fanout":'
+  echo "$watch_json"
   echo '}'
 } > "$OUT"
 

@@ -57,6 +57,9 @@ struct CostModel {
   /// Building + buffering one WAL record (decision critical path).
   sim::Time wal_append = sim::Micros(4);
 
+  /// Decoding + re-applying one WAL record during crash recovery.
+  sim::Time wal_read = sim::Micros(4);
+
   /// One fsync barrier (WAL group commit or page-file checkpoint sync).
   sim::Time disk_fsync = sim::Micros(120);
 

@@ -9,6 +9,7 @@
 #include "core/read_only_service.h"
 #include "core/sharded_pipeline.h"
 #include "core/two_pc_coordinator.h"
+#include "core/watch_service.h"
 
 namespace transedge::core {
 
@@ -59,6 +60,11 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
   consensus_hooks.on_view_adopted = [this] {
     pipeline_->OnViewChange();
     two_pc_->OnViewChange();
+    // Read-path services: flush parked round-2 requests retryable and
+    // kill the watch streams of the old view (epoch bump + explicit
+    // resubscribe errors) — nothing may strand silently across views.
+    read_only_->OnViewChange();
+    watch_->OnViewChange();
   };
   consensus_ = MakeConsensus(ctx, std::move(consensus_hooks));
 
@@ -96,6 +102,7 @@ TransEdgeNode::TransEdgeNode(const SystemConfig& config, crypto::NodeId id,
 
   read_only_ = std::make_unique<ReadOnlyService>(ctx);
   augustus_ = std::make_unique<AugustusBaseline>(ctx);
+  watch_ = std::make_unique<WatchService>(ctx);
 }
 
 TransEdgeNode::~TransEdgeNode() = default;
@@ -185,10 +192,19 @@ const NodeStats& TransEdgeNode::stats() const {
   s.ro_round2_parked = read_only_->stats().ro_round2_parked;
   s.ro_round2_rejected = read_only_->stats().ro_round2_rejected;
   s.rw_aborted_by_ro_locks = pipeline_stats.rw_aborted_by_ro_locks;
+  s.ro_round2_aborted = read_only_->stats().ro_round2_aborted;
   s.view_changes = consensus_->stats().view_changes;
   s.augustus_ro_served = augustus_->stats().augustus_ro_served;
   s.consensus_msgs_sent = consensus_->stats().messages_sent;
+  s.watch_subscribes = watch_->stats().watch_subscribes;
+  s.watch_deltas_pushed = watch_->stats().watch_deltas_pushed;
+  s.watch_keys_pushed = watch_->stats().watch_keys_pushed;
+  s.watch_resubscribe_errors = watch_->stats().watch_resubscribe_errors;
   return s;
+}
+
+size_t TransEdgeNode::active_watches() const {
+  return watch_->active_watches();
 }
 
 const merkle::MerkleTree::Snapshot& TransEdgeNode::SnapshotAt(
@@ -266,7 +282,9 @@ void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
       type == MessageType::kCommitRecord || type == MessageType::kRoRequest ||
       type == MessageType::kRoBatchRequest ||
       type == MessageType::kAugustusRoRequest ||
-      type == MessageType::kAugustusRelease;
+      type == MessageType::kAugustusRelease ||
+      type == MessageType::kWatchSubscribe ||
+      type == MessageType::kWatchUnsubscribe;
   if (leader_bound && !IsLeader()) {
     Send(config_.LeaderOf(partition_, consensus_->view()), msg,
          cpu_.busy_until());
@@ -320,6 +338,14 @@ void TransEdgeNode::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
     case MessageType::kAugustusRelease:
       augustus_->HandleRelease(
           from, static_cast<const wire::AugustusRelease&>(*msg));
+      break;
+    case MessageType::kWatchSubscribe:
+      watch_->HandleSubscribe(
+          from, static_cast<const wire::WatchSubscribeRequest&>(*msg));
+      break;
+    case MessageType::kWatchUnsubscribe:
+      watch_->HandleUnsubscribe(
+          from, static_cast<const wire::WatchUnsubscribe&>(*msg));
       break;
     default:
       // The consensus engine's wire surface is private to the engine:
@@ -468,8 +494,10 @@ void TransEdgeNode::InstallApply(PendingApply entry) {
   const storage::LogEntry& logged = *logged_or.value();
   const storage::Batch& batch = logged.batch;
 
+  std::vector<Key> written;
   auto apply_write = [&](const WriteOp& w) {
     backend_->store().Put(w.key, w.value, batch.id);
+    written.push_back(w.key);
     // Drain the decided-version overlay once the store has caught up.
     auto it = decided_versions_.find(w.key);
     if (it != decided_versions_.end() && it->second == batch.id) {
@@ -525,12 +553,17 @@ void TransEdgeNode::InstallApply(PendingApply entry) {
   pipeline_->OnBatchApplied(logged.batch);
   two_pc_->OnBatchApplied(logged.batch, logged.certificate);
   read_only_->ServeParkedRequests();
+  // Canonical write-key order so every replica pushes identical deltas.
+  std::sort(written.begin(), written.end());
+  written.erase(std::unique(written.begin(), written.end()), written.end());
+  watch_->OnBatchApplied(logged, written);
 
   if (truncate_due) {
     // One authoritative horizon for every engine: key-version history,
     // log availability, and the RO out-of-window rejection all move
     // together (`logged` is dead past this point).
     backend_->TruncateHistory(snapshot_base_);
+    read_only_->OnHistoryTruncated(snapshot_base_);
     ChargeStorageIo(/*on_protocol_cpu=*/false);
   }
 }
@@ -547,7 +580,9 @@ void TransEdgeNode::ChargeStorageIo(bool on_protocol_cpu) {
        delta(s.file_syncs, charged_io_.file_syncs)) *
           c.disk_fsync +
       delta(s.pages_written, charged_io_.pages_written) * c.page_write +
-      delta(s.pages_read, charged_io_.pages_read) * c.page_read;
+      delta(s.pages_read, charged_io_.pages_read) * c.page_read +
+      delta(s.wal_records_replayed, charged_io_.wal_records_replayed) *
+          c.wal_read;
   charged_io_ = s;
   if (cost == 0) return;  // In-memory backend: never any I/O to charge.
   if (on_protocol_cpu) {

@@ -26,6 +26,7 @@ class Consensus;
 class ReadOnlyService;
 class ShardedPipeline;
 class TwoPcCoordinator;
+class WatchService;
 
 /// Counters exposed for tests and the bench harness. Aggregated from the
 /// per-engine counters on access.
@@ -45,6 +46,13 @@ struct NodeStats {
   uint64_t rw_aborted_by_ro_locks = 0;  // Augustus interference (Table 1).
   uint64_t view_changes = 0;
   uint64_t augustus_ro_served = 0;
+  /// Parked round-2 requests flushed retryable (view change/truncation).
+  uint64_t ro_round2_aborted = 0;
+  // Watch/subscription push tier.
+  uint64_t watch_subscribes = 0;
+  uint64_t watch_deltas_pushed = 0;
+  uint64_t watch_keys_pushed = 0;
+  uint64_t watch_resubscribe_errors = 0;
   /// Protocol messages the consensus engine sent; divided by
   /// batches_decided this is the engines' message-complexity axis
   /// (bench_consensus_compare).
@@ -53,7 +61,7 @@ struct NodeStats {
 
 /// One TransEdge replica (one edge node).
 ///
-/// The replica is a thin message router over five focused subsystem
+/// The replica is a thin message router over six focused subsystem
 /// engines plus the storage stack it owns (versioned store + Merkle tree
 /// + snapshot window + SMR log):
 ///
@@ -66,6 +74,8 @@ struct NodeStats {
 ///   - TwoPcCoordinator: cross-cluster 2PC (§3.3)
 ///   - ReadOnlyService:  authenticated read-only serving (§4.2–4.4)
 ///   - AugustusBaseline: locking read-only baseline (Figures 5–7)
+///   - WatchService:     certified key-range delta push (read tier
+///                       inverted from pull to poll-free subscriptions)
 ///
 /// Engines reach the node only through the NodeContext interface
 /// (clock/send/sign/storage) and through hooks wired here; they never
@@ -101,6 +111,8 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   const merkle::MerkleTree& tree() const { return tree_; }
   const NodeStats& stats() const;
   size_t in_progress_size() const;
+  /// Key-range watches currently registered on this replica.
+  size_t active_watches() const;
   /// 2PC-dedup entries the admission pipeline currently holds (drains as
   /// batches apply; bounded by in-flight work).
   size_t seen_txn_count() const;
@@ -209,8 +221,8 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   void ScheduleApplyDrain();
 
   /// Converts the backend's StorageIoStats growth since the last call
-  /// into simulated time (CostModel wal_append/disk_fsync/page_write/
-  /// page_read). `on_protocol_cpu` charges the replica CPU (WAL on the
+  /// into simulated time (CostModel wal_append/wal_read/disk_fsync/
+  /// page_write/page_read). `on_protocol_cpu` charges the replica CPU (WAL on the
   /// decision critical path, recovery); otherwise the I/O meter (the
   /// checkpoint flusher running beside the protocol). Zero deltas —
   /// the in-memory backend always — charge nothing.
@@ -272,6 +284,7 @@ class TransEdgeNode : public sim::Actor, private NodeContext {
   std::unique_ptr<TwoPcCoordinator> two_pc_;
   std::unique_ptr<ReadOnlyService> read_only_;
   std::unique_ptr<AugustusBaseline> augustus_;
+  std::unique_ptr<WatchService> watch_;
 
   mutable NodeStats aggregated_stats_;
 };

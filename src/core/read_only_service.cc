@@ -104,8 +104,13 @@ void ReadOnlyService::HandleRoRequest(sim::ActorId from,
   // asynchronous apply this trails the decided log head.
   BatchId batch_id = ctx_->last_applied();
   if (ctx_->byzantine() == ByzantineBehavior::kStaleSnapshot && batch_id > 0) {
-    // Old but certified (bounded by the retained snapshot window).
-    batch_id = std::max<BatchId>(ctx_->snapshot_base(), batch_id - 64);
+    // Old but certified: lag by one standard truncation period, capped to
+    // the *configured* snapshot window — a hardcoded 64 would pin the
+    // batch below a smaller window and bounce off the NotFound path in
+    // BuildRoReply instead of serving a stale-but-verifiable reply.
+    const BatchId lag = std::min<BatchId>(
+        64, static_cast<BatchId>(ctx_->config().snapshot_history) - 1);
+    batch_id = std::max<BatchId>(ctx_->history_horizon(), batch_id - lag);
   }
   Result<wire::RoReply> reply =
       BuildRoReply(msg.request_id, msg.keys, batch_id, false);
@@ -167,6 +172,7 @@ void ReadOnlyService::HandleRoBatchRequest(sim::ActorId from,
     ParkedRo parked;
     parked.client = client;
     parked.request = msg;
+    parked.parked_tail = log.LastBatchId();
     parked_ro_.push_back(std::move(parked));
     return;
   }
@@ -206,6 +212,39 @@ void ReadOnlyService::ServeParkedRequests() {
     }
     ++stats_.ro_round2_served;
     ctx_->Send(parked.client, ShareMsg(std::move(reply).value()), done);
+  }
+  parked_ro_ = std::move(still_parked);
+}
+
+void ReadOnlyService::OnViewChange() {
+  // The new leader's log — not this replica's — will carry the batch
+  // that satisfies each parked dependency, and the clients have already
+  // rotated their requests there. Anything still parked here would leak.
+  if (parked_ro_.empty()) return;
+  for (ParkedRo& parked : parked_ro_) {
+    sim::Time done = ctx_->Charge(ctx_->config().cost.message_handling);
+    ++stats_.ro_round2_aborted;
+    ctx_->Send(parked.client,
+               ShareMsg(UnserviceableReply(parked.request.request_id)), done);
+  }
+  parked_ro_.clear();
+}
+
+void ReadOnlyService::OnHistoryTruncated(BatchId horizon) {
+  if (parked_ro_.empty()) return;
+  std::vector<ParkedRo> still_parked;
+  for (ParkedRo& parked : parked_ro_) {
+    // A full snapshot window has been applied *and truncated* past the
+    // park point without the LCE catching up: the dependency must have
+    // aborted (or its client given up). Stop waiting, tell the client.
+    if (parked.parked_tail >= horizon) {
+      still_parked.push_back(std::move(parked));
+      continue;
+    }
+    sim::Time done = ctx_->Charge(ctx_->config().cost.message_handling);
+    ++stats_.ro_round2_aborted;
+    ctx_->Send(parked.client,
+               ShareMsg(UnserviceableReply(parked.request.request_id)), done);
   }
   parked_ro_ = std::move(still_parked);
 }

@@ -22,6 +22,9 @@ class ReadOnlyService {
     /// Round-2 requests answered unserviceable because the dependency
     /// lies beyond any batch this cluster could have certified.
     uint64_t ro_round2_rejected = 0;
+    /// Parked round-2 requests flushed with a retryable reply because a
+    /// view change or history truncation stranded them.
+    uint64_t ro_round2_aborted = 0;
   };
 
   explicit ReadOnlyService(NodeContext* ctx);
@@ -34,6 +37,18 @@ class ReadOnlyService {
 
   /// Re-examines parked round-2 requests after the log advanced.
   void ServeParkedRequests();
+
+  /// View adoption: the cluster elected a new leader, so requests parked
+  /// on this (possibly demoted) replica would strand — their clients
+  /// have rotated away. Flush each with a retryable unserviceable reply.
+  void OnViewChange();
+
+  /// History truncated up to `horizon`: a request parked before the
+  /// entire retained window rotated past it has waited snapshot_history
+  /// batches without its dependency committing — no honest dependency
+  /// does that (round-1 dependencies sit near the log head). Flush it
+  /// with a retryable reply instead of leaking it.
+  void OnHistoryTruncated(BatchId horizon);
 
   const Stats& stats() const { return stats_; }
 
@@ -56,6 +71,9 @@ class ReadOnlyService {
   struct ParkedRo {
     sim::ActorId client = 0;
     wire::RoBatchRequest request;
+    /// Log tail when the request parked; OnHistoryTruncated bounds the
+    /// wait against the retained window with it.
+    BatchId parked_tail = kNoBatch;
   };
   std::vector<ParkedRo> parked_ro_;
   Stats stats_;

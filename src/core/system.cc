@@ -77,7 +77,7 @@ void System::Start() {
 }
 
 Client* System::AddClient() {
-  uint32_t index = static_cast<uint32_t>(clients_.size());
+  uint32_t index = next_client_index_++;
   assert(index < kMaxClients);
   crypto::NodeId id = config_.ClientNode(index);
   auto client =
@@ -87,6 +87,17 @@ Client* System::AddClient() {
   env_.network().Register(id, index % config_.num_partitions, client.get());
   clients_.push_back(std::move(client));
   return clients_.back().get();
+}
+
+WatchClient* System::AddWatchClient() {
+  uint32_t index = next_client_index_++;
+  assert(index < kMaxClients);
+  crypto::NodeId id = config_.ClientNode(index);
+  auto client =
+      std::make_unique<WatchClient>(config_, id, &env_, &scheme_.verifier());
+  env_.network().Register(id, index % config_.num_partitions, client.get());
+  watch_clients_.push_back(std::move(client));
+  return watch_clients_.back().get();
 }
 
 void System::CrashReplica(crypto::NodeId id) {

@@ -8,6 +8,7 @@
 #include "core/client.h"
 #include "core/config.h"
 #include "core/node.h"
+#include "core/watch_client.h"
 #include "crypto/signer.h"
 #include "sim/environment.h"
 #include "storage/paged/sim_disk.h"
@@ -58,6 +59,10 @@ class System {
 
   /// Creates a client co-located with cluster `home % num_partitions`.
   Client* AddClient();
+
+  /// Creates a watch client (subscription-tier subscriber). Watch
+  /// clients share the regular clients' node-id space.
+  WatchClient* AddWatchClient();
 
   TransEdgeNode* node(PartitionId p, uint32_t replica_index) {
     return nodes_[config_.ReplicaNode(p, replica_index)].get();
@@ -119,6 +124,10 @@ class System {
   /// the environment.
   std::vector<std::unique_ptr<TransEdgeNode>> graveyard_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<WatchClient>> watch_clients_;
+  /// Clients and watch clients share one id space (both key server-side
+  /// state by globally-unique ids derived from the node id).
+  uint32_t next_client_index_ = 0;
   bool started_ = false;
 };
 

@@ -1,0 +1,249 @@
+#include "core/watch_client.h"
+
+#include <utility>
+
+#include "merkle/merkle_tree.h"
+
+namespace transedge::core {
+
+namespace {
+template <typename T>
+std::shared_ptr<const T> Share(T msg) {
+  return std::make_shared<const T>(std::move(msg));
+}
+}  // namespace
+
+WatchClient::WatchClient(const SystemConfig& config, crypto::NodeId id,
+                         sim::Environment* env,
+                         const crypto::Verifier* verifier)
+    : config_(config),
+      id_(id),
+      env_(env),
+      verifier_(verifier),
+      partition_map_(config.num_partitions),
+      view_hint_(config.num_partitions, 0),
+      subs_(config.num_partitions),
+      // Watch ids share the clients' globally-unique id scheme (client
+      // id in the high bits): the server keys watches by (client, id).
+      next_watch_id_((static_cast<uint64_t>(id) << 32) | 1) {}
+
+void WatchClient::OnMessage(sim::ActorId from, const sim::MessagePtr& msg) {
+  (void)from;
+  using wire::MessageType;
+  switch (static_cast<MessageType>(msg->type())) {
+    case MessageType::kWatchSubscribeReply:
+      HandleSubscribeReply(
+          static_cast<const wire::WatchSubscribeReply&>(*msg));
+      break;
+    case MessageType::kWatchDelta:
+      HandleDelta(static_cast<const wire::WatchDeltaMsg&>(*msg));
+      break;
+    case MessageType::kWatchResubscribe:
+      HandleResubscribeRequired(
+          static_cast<const wire::WatchResubscribeRequired&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void WatchClient::Watch(Key lo, Key hi) {
+  watching_ = true;
+  lo_ = std::move(lo);
+  hi_ = std::move(hi);
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    subs_[p] = Sub{};
+    subs_[p].watch_id = next_watch_id_++;
+    Subscribe(p, kNoBatch);
+  }
+}
+
+void WatchClient::Unwatch() {
+  if (!watching_) return;
+  watching_ = false;
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    ++subs_[p].timer_epoch;  // Kill the pending idle timer.
+    subs_[p].active = false;
+    wire::WatchUnsubscribe msg;
+    msg.watch_id = subs_[p].watch_id;
+    msg.reply_to = id_;
+    env_->network().Send(id_, LeaderOf(p), Share(std::move(msg)));
+  }
+}
+
+const WatchClient::CachedRead* WatchClient::Lookup(const Key& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++stats_.cache_misses;
+    return nullptr;
+  }
+  ++stats_.cache_hits;
+  return &it->second;
+}
+
+bool WatchClient::AllSubscribed() const {
+  if (!watching_) return false;
+  for (const Sub& sub : subs_) {
+    if (!sub.active) return false;
+  }
+  return true;
+}
+
+void WatchClient::Subscribe(PartitionId p, BatchId resume_from) {
+  Sub& sub = subs_[p];
+  sub.active = false;
+  wire::WatchSubscribeRequest msg;
+  msg.watch_id = sub.watch_id;
+  msg.reply_to = id_;
+  msg.range_lo = lo_;
+  msg.range_hi = hi_;
+  msg.resume_from = resume_from;
+  env_->network().Send(id_, LeaderOf(p), Share(std::move(msg)));
+  ArmIdleTimer(p);
+}
+
+Status WatchClient::VerifyCertifiedEntries(
+    PartitionId partition, BatchId batch_id,
+    const std::vector<wire::AuthenticatedRead>& entries,
+    const storage::BatchCertificate& certificate) const {
+  if (certificate.partition != partition || certificate.batch_id != batch_id) {
+    return Status::VerificationFailed("certificate does not match payload");
+  }
+  TE_RETURN_IF_ERROR(certificate.Verify(*verifier_,
+                                        config_.certificate_size(),
+                                        config_.ClusterMembers(partition)));
+  for (const wire::AuthenticatedRead& read : entries) {
+    if (read.found) {
+      TE_RETURN_IF_ERROR(merkle::MerkleTree::VerifyProof(
+          read.proof, read.key, read.value, read.version,
+          certificate.merkle_root));
+    } else {
+      TE_RETURN_IF_ERROR(merkle::MerkleTree::VerifyAbsence(
+          read.proof, read.key, certificate.merkle_root));
+    }
+  }
+  return Status::OK();
+}
+
+void WatchClient::ApplyEntries(
+    BatchId batch_id, const std::vector<wire::AuthenticatedRead>& entries) {
+  for (const wire::AuthenticatedRead& read : entries) {
+    if (read.found) {
+      cache_[read.key] =
+          CachedRead{true, read.value, read.version, batch_id};
+    } else {
+      // Certified absence: the key has no value as of this batch.
+      cache_.erase(read.key);
+    }
+  }
+  stats_.keys_updated += entries.size();
+}
+
+void WatchClient::HandleSubscribeReply(const wire::WatchSubscribeReply& msg) {
+  if (msg.partition >= subs_.size()) return;
+  Sub& sub = subs_[msg.partition];
+  if (!watching_ || msg.watch_id != sub.watch_id) return;
+  if (msg.resumed) {
+    // Continuation acknowledged: the stream chains from our last
+    // verified position; missed deltas follow as ordinary pushes.
+    sub.epoch = msg.epoch;
+    sub.active = true;
+    ArmIdleTimer(msg.partition);
+    return;
+  }
+  Status verified = VerifyCertifiedEntries(msg.partition, msg.batch_id,
+                                           msg.entries, msg.certificate);
+  if (!verified.ok()) {
+    ++stats_.verification_failures;
+    return;
+  }
+  // Fresh seed: certified ground truth for the whole range replaces any
+  // stale leftovers from a previous subscription.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (partition_map_.OwnerOf(it->first) == msg.partition) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ApplyEntries(msg.batch_id, msg.entries);
+  sub.epoch = msg.epoch;
+  sub.last_seen = msg.batch_id;
+  sub.active = true;
+  ++stats_.seeds_applied;
+  ArmIdleTimer(msg.partition);
+}
+
+void WatchClient::HandleDelta(const wire::WatchDeltaMsg& msg) {
+  if (msg.partition >= subs_.size()) return;
+  Sub& sub = subs_[msg.partition];
+  if (!watching_ || msg.watch_id != sub.watch_id) return;
+  if (msg.epoch != sub.epoch) {
+    // A push from a stream that a view change already killed; the
+    // resubscribed stream covers (or will cover) this batch.
+    ++stats_.stale_epoch_dropped;
+    return;
+  }
+  if (sub.last_seen != kNoBatch && msg.batch_id <= sub.last_seen) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (msg.prev_batch_id != sub.last_seen) {
+    // Chain discontinuity: a delta between last_seen and this one was
+    // lost. Do not apply (the cache would silently skip writes); resume
+    // from the last verified position instead.
+    ++stats_.gaps_detected;
+    ++stats_.resubscribes;
+    Subscribe(msg.partition, sub.last_seen);
+    return;
+  }
+  Status verified = VerifyCertifiedEntries(msg.partition, msg.batch_id,
+                                           msg.entries, msg.certificate);
+  if (!verified.ok()) {
+    ++stats_.verification_failures;
+    return;
+  }
+  ApplyEntries(msg.batch_id, msg.entries);
+  sub.last_seen = msg.batch_id;
+  ++stats_.deltas_applied;
+  ArmIdleTimer(msg.partition);
+}
+
+void WatchClient::HandleResubscribeRequired(
+    const wire::WatchResubscribeRequired& msg) {
+  if (msg.partition >= subs_.size()) return;
+  Sub& sub = subs_[msg.partition];
+  if (!watching_ || msg.watch_id != sub.watch_id) return;
+  sub.active = false;
+  ++stats_.resubscribes;
+  // The sender just told us it cannot (or will no longer) serve this
+  // stream; try the next replica in rotation.
+  ++view_hint_[msg.partition];
+  if (sub.last_seen != kNoBatch && msg.horizon != kNoBatch &&
+      sub.last_seen >= msg.horizon) {
+    Subscribe(msg.partition, sub.last_seen);
+  } else {
+    // The replay window rotated past our position (or we never seeded):
+    // only a fresh certified seed can restore gap-free coverage.
+    Subscribe(msg.partition, kNoBatch);
+  }
+}
+
+void WatchClient::ArmIdleTimer(PartitionId p) {
+  Sub& sub = subs_[p];
+  uint64_t epoch = ++sub.timer_epoch;
+  env_->Schedule(config_.client_timeout, [this, p, epoch] {
+    if (!watching_) return;
+    Sub& sub = subs_[p];
+    if (sub.timer_epoch != epoch) return;
+    ++stats_.resubscribes;
+    if (!sub.active) {
+      // The previous subscribe itself went unanswered — that replica is
+      // down or partitioned away; rotate before retrying.
+      ++view_hint_[p];
+    }
+    Subscribe(p, sub.last_seen);
+  });
+}
+
+}  // namespace transedge::core

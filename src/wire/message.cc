@@ -56,6 +56,16 @@ const char* MessageTypeName(MessageType type) {
       return "AugustusRoReply";
     case MessageType::kAugustusRelease:
       return "AugustusRelease";
+    case MessageType::kWatchSubscribe:
+      return "WatchSubscribe";
+    case MessageType::kWatchSubscribeReply:
+      return "WatchSubscribeReply";
+    case MessageType::kWatchDelta:
+      return "WatchDelta";
+    case MessageType::kWatchUnsubscribe:
+      return "WatchUnsubscribe";
+    case MessageType::kWatchResubscribe:
+      return "WatchResubscribeRequired";
   }
   return "Unknown";
 }

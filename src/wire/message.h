@@ -52,6 +52,13 @@ enum class MessageType : uint32_t {
   kAugustusVoteReply = 62,
   kAugustusRoReply = 63,
   kAugustusRelease = 64,
+
+  // Watch / subscription push tier (certified delta streaming).
+  kWatchSubscribe = 70,
+  kWatchSubscribeReply = 71,
+  kWatchDelta = 72,
+  kWatchUnsubscribe = 73,
+  kWatchResubscribe = 74,
 };
 
 /// Human-readable message-type name for logs.
@@ -393,6 +400,72 @@ struct AugustusRoReply : TypedMessage<MessageType::kAugustusRoReply> {
 /// Client -> leader: release the shared locks.
 struct AugustusRelease : TypedMessage<MessageType::kAugustusRelease> {
   uint64_t request_id = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Watch / subscription push tier
+// ---------------------------------------------------------------------------
+
+/// Client -> leader: register a key-range watch on this partition.
+/// The range is lexicographic and inclusive on both ends. A fresh watch
+/// (`resume_from == kNoBatch`) is answered with a certified seed of the
+/// in-range keys; a resume names the last batch the watcher is current
+/// through, and the leader replays the missed in-range deltas from its
+/// retained window (or demands a fresh subscribe if the window rotated).
+struct WatchSubscribeRequest : TypedMessage<MessageType::kWatchSubscribe> {
+  uint64_t watch_id = 0;
+  sim::ActorId reply_to = 0;
+  Key range_lo;
+  Key range_hi;
+  BatchId resume_from = kNoBatch;
+};
+
+/// Leader -> watcher: subscription accepted at `batch_id` (the applied
+/// head) in watch epoch `epoch`. A fresh subscribe carries `entries`:
+/// every in-range key's (value, proof) at `batch_id`, verifiable against
+/// `certificate.merkle_root` — the watcher's cache seed. A resume
+/// (`resumed`) carries no seed; the missed deltas follow as ordinary
+/// WatchDeltaMsg pushes chained from `resume_from`.
+struct WatchSubscribeReply : TypedMessage<MessageType::kWatchSubscribeReply> {
+  uint64_t watch_id = 0;
+  PartitionId partition = 0;
+  uint64_t epoch = 0;
+  BatchId batch_id = kNoBatch;
+  bool resumed = false;
+  std::vector<AuthenticatedRead> entries;
+  storage::BatchCertificate certificate;
+};
+
+/// Leader -> watcher: the writes of applied batch `batch_id` restricted
+/// to the watch range, each with a Merkle proof against that batch's
+/// certified root. `prev_batch_id` chains the stream — it names the last
+/// batch this watch was sent (the subscribe reply's `batch_id` for the
+/// first delta) — so a watcher detects gaps without trusting the server.
+struct WatchDeltaMsg : TypedMessage<MessageType::kWatchDelta> {
+  uint64_t watch_id = 0;
+  PartitionId partition = 0;
+  uint64_t epoch = 0;
+  BatchId batch_id = kNoBatch;
+  BatchId prev_batch_id = kNoBatch;
+  std::vector<AuthenticatedRead> entries;
+  storage::BatchCertificate certificate;
+};
+
+/// Client -> leader: drop the watch. No reply.
+struct WatchUnsubscribe : TypedMessage<MessageType::kWatchUnsubscribe> {
+  uint64_t watch_id = 0;
+  sim::ActorId reply_to = 0;
+};
+
+/// Replica -> watcher: the subscription is dead — a view change rotated
+/// the watch epoch, or the replay window a resume needed was truncated.
+/// Explicitly retryable: resubscribe (fresh, or resuming from a batch
+/// >= `horizon`) against the current leader.
+struct WatchResubscribeRequired : TypedMessage<MessageType::kWatchResubscribe> {
+  uint64_t watch_id = 0;
+  PartitionId partition = 0;
+  uint64_t epoch = 0;          // Epoch now current at the sender.
+  BatchId horizon = kNoBatch;  // Oldest batch a resume could replay from.
 };
 
 }  // namespace transedge::wire

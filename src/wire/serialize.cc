@@ -257,6 +257,52 @@ void EncodeBody(const AugustusRelease& msg, Encoder* enc) {
   enc->PutU64(msg.request_id);
 }
 
+void EncodeBody(const WatchSubscribeRequest& msg, Encoder* enc) {
+  enc->PutU64(msg.watch_id);
+  enc->PutU32(msg.reply_to);
+  enc->PutString(msg.range_lo);
+  enc->PutString(msg.range_hi);
+  enc->PutI64(msg.resume_from);
+}
+
+void EncodeBody(const WatchSubscribeReply& msg, Encoder* enc) {
+  enc->PutU64(msg.watch_id);
+  enc->PutU32(msg.partition);
+  enc->PutU64(msg.epoch);
+  enc->PutI64(msg.batch_id);
+  enc->PutBool(msg.resumed);
+  enc->PutU32(static_cast<uint32_t>(msg.entries.size()));
+  for (const AuthenticatedRead& read : msg.entries) {
+    PutAuthenticatedRead(enc, read);
+  }
+  msg.certificate.EncodeTo(enc);
+}
+
+void EncodeBody(const WatchDeltaMsg& msg, Encoder* enc) {
+  enc->PutU64(msg.watch_id);
+  enc->PutU32(msg.partition);
+  enc->PutU64(msg.epoch);
+  enc->PutI64(msg.batch_id);
+  enc->PutI64(msg.prev_batch_id);
+  enc->PutU32(static_cast<uint32_t>(msg.entries.size()));
+  for (const AuthenticatedRead& read : msg.entries) {
+    PutAuthenticatedRead(enc, read);
+  }
+  msg.certificate.EncodeTo(enc);
+}
+
+void EncodeBody(const WatchUnsubscribe& msg, Encoder* enc) {
+  enc->PutU64(msg.watch_id);
+  enc->PutU32(msg.reply_to);
+}
+
+void EncodeBody(const WatchResubscribeRequired& msg, Encoder* enc) {
+  enc->PutU64(msg.watch_id);
+  enc->PutU32(msg.partition);
+  enc->PutU64(msg.epoch);
+  enc->PutI64(msg.horizon);
+}
+
 Bytes EncodeMessage(const sim::Message& msg) {
   Encoder enc;
   enc.PutU32(msg.type());
@@ -337,6 +383,21 @@ Bytes EncodeMessage(const sim::Message& msg) {
       break;
     case MessageType::kAugustusRelease:
       EncodeBody(static_cast<const AugustusRelease&>(msg), &enc);
+      break;
+    case MessageType::kWatchSubscribe:
+      EncodeBody(static_cast<const WatchSubscribeRequest&>(msg), &enc);
+      break;
+    case MessageType::kWatchSubscribeReply:
+      EncodeBody(static_cast<const WatchSubscribeReply&>(msg), &enc);
+      break;
+    case MessageType::kWatchDelta:
+      EncodeBody(static_cast<const WatchDeltaMsg&>(msg), &enc);
+      break;
+    case MessageType::kWatchUnsubscribe:
+      EncodeBody(static_cast<const WatchUnsubscribe&>(msg), &enc);
+      break;
+    case MessageType::kWatchResubscribe:
+      EncodeBody(static_cast<const WatchResubscribeRequired&>(msg), &enc);
       break;
   }
   return enc.Take();
@@ -593,6 +654,63 @@ Result<sim::MessagePtr> DecodeMessage(const Bytes& buffer) {
     case MessageType::kAugustusRelease:
       return Decode<AugustusRelease>(&dec, [](auto* m, Decoder* d) {
         TE_ASSIGN_OR_RETURN(m->request_id, d->GetU64());
+        return Status::OK();
+      });
+    case MessageType::kWatchSubscribe:
+      return Decode<WatchSubscribeRequest>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->watch_id, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->reply_to, d->GetU32());
+        TE_ASSIGN_OR_RETURN(m->range_lo, d->GetString());
+        TE_ASSIGN_OR_RETURN(m->range_hi, d->GetString());
+        TE_ASSIGN_OR_RETURN(m->resume_from, d->GetI64());
+        return Status::OK();
+      });
+    case MessageType::kWatchSubscribeReply:
+      return Decode<WatchSubscribeReply>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->watch_id, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->partition, d->GetU32());
+        TE_ASSIGN_OR_RETURN(m->epoch, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->batch_id, d->GetI64());
+        TE_ASSIGN_OR_RETURN(m->resumed, d->GetBool());
+        TE_ASSIGN_OR_RETURN(uint32_t n, d->GetCount());
+        for (uint32_t i = 0; i < n; ++i) {
+          TE_ASSIGN_OR_RETURN(AuthenticatedRead read,
+                              GetAuthenticatedRead(d));
+          m->entries.push_back(std::move(read));
+        }
+        TE_ASSIGN_OR_RETURN(m->certificate,
+                            storage::BatchCertificate::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kWatchDelta:
+      return Decode<WatchDeltaMsg>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->watch_id, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->partition, d->GetU32());
+        TE_ASSIGN_OR_RETURN(m->epoch, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->batch_id, d->GetI64());
+        TE_ASSIGN_OR_RETURN(m->prev_batch_id, d->GetI64());
+        TE_ASSIGN_OR_RETURN(uint32_t n, d->GetCount());
+        for (uint32_t i = 0; i < n; ++i) {
+          TE_ASSIGN_OR_RETURN(AuthenticatedRead read,
+                              GetAuthenticatedRead(d));
+          m->entries.push_back(std::move(read));
+        }
+        TE_ASSIGN_OR_RETURN(m->certificate,
+                            storage::BatchCertificate::DecodeFrom(d));
+        return Status::OK();
+      });
+    case MessageType::kWatchUnsubscribe:
+      return Decode<WatchUnsubscribe>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->watch_id, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->reply_to, d->GetU32());
+        return Status::OK();
+      });
+    case MessageType::kWatchResubscribe:
+      return Decode<WatchResubscribeRequired>(&dec, [](auto* m, Decoder* d) {
+        TE_ASSIGN_OR_RETURN(m->watch_id, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->partition, d->GetU32());
+        TE_ASSIGN_OR_RETURN(m->epoch, d->GetU64());
+        TE_ASSIGN_OR_RETURN(m->horizon, d->GetI64());
         return Status::OK();
       });
     default:

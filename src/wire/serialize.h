@@ -51,6 +51,11 @@ void EncodeBody(const AugustusVoteRequest& msg, Encoder* enc);
 void EncodeBody(const AugustusVoteReply& msg, Encoder* enc);
 void EncodeBody(const AugustusRoReply& msg, Encoder* enc);
 void EncodeBody(const AugustusRelease& msg, Encoder* enc);
+void EncodeBody(const WatchSubscribeRequest& msg, Encoder* enc);
+void EncodeBody(const WatchSubscribeReply& msg, Encoder* enc);
+void EncodeBody(const WatchDeltaMsg& msg, Encoder* enc);
+void EncodeBody(const WatchUnsubscribe& msg, Encoder* enc);
+void EncodeBody(const WatchResubscribeRequired& msg, Encoder* enc);
 
 }  // namespace transedge::wire
 

@@ -1,0 +1,340 @@
+// Watch/subscription push-tier tests: certified seed + delta streams,
+// the read-through edge cache, explicit resubscribe on view change and
+// history truncation, and the read-path correctness fixes that ride
+// along (configurable stale-snapshot clamp, parked round-2 flush).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "wire/message.h"
+#include "workload/generator.h"
+
+namespace transedge {
+namespace {
+
+using core::Client;
+using core::ConsensusKind;
+using core::RoResult;
+using core::RwResult;
+using core::System;
+using core::SystemConfig;
+using core::WatchClient;
+
+SystemConfig WatchConfig(ConsensusKind consensus) {
+  SystemConfig config;
+  config.num_partitions = 1;
+  config.f = 1;  // 4 replicas.
+  config.consensus_kind = consensus;
+  config.batch_interval = sim::Millis(5);
+  config.view_change_timeout = sim::Millis(80);
+  config.merkle_depth = 8;
+  // Doubles as the watch client's silence detector; keep recovery from
+  // a dead stream fast.
+  config.client_timeout = sim::Millis(100);
+  return config;
+}
+
+std::vector<std::pair<Key, Value>> TestData(uint32_t partitions) {
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = 100;
+  wopts.value_size = 8;
+  return workload::KeySpace(wopts, partitions).InitialData();
+}
+
+/// Repeatedly writes `value_prefix || i` to `key` until `*stop` is set;
+/// counts commits in `*committed`. The returned owner must outlive the
+/// run — scheduled callbacks hold a raw pointer into it.
+std::shared_ptr<std::function<void()>> StartWriteLoop(
+    System* system, Client* writer, Key key, const std::string& value_prefix,
+    int* committed, const bool* stop) {
+  auto write_loop = std::make_shared<std::function<void()>>();
+  auto* write_fn = write_loop.get();
+  *write_loop = [=] {
+    if (*stop) return;
+    writer->ExecuteReadWrite(
+        {}, {WriteOp{key, ToBytes(value_prefix + std::to_string(*committed))}},
+        [=](RwResult r) {
+          if (r.committed) ++*committed;
+          (*write_fn)();
+        });
+  };
+  system->env().Schedule(sim::Millis(30), *write_loop);
+  return write_loop;
+}
+
+/// The watcher's cache must agree with the (certified) store of
+/// `replica` for every key in `[lo, hi]` — same values, and no extra
+/// cached keys the store does not have. Pass a replica that is known to
+/// be fully caught up (a stable leader, or any continuously-live node
+/// after traffic has quiesced).
+void ExpectCacheMatchesReplica(const core::TransEdgeNode* replica,
+                               WatchClient* watcher, const Key& lo,
+                               const Key& hi) {
+  const storage::VersionedStore& store = replica->store();
+  size_t in_range = 0;
+  store.ForEachLatest([&](const Key& k, const Value& v, BatchId version) {
+    if (k < lo || k > hi) return;
+    ++in_range;
+    auto it = watcher->cache().find(k);
+    ASSERT_NE(it, watcher->cache().end()) << "missing cached key " << k;
+    EXPECT_EQ(it->second.value, v) << "stale cache for " << k;
+    EXPECT_EQ(it->second.version, version) << "stale version for " << k;
+  });
+  EXPECT_EQ(watcher->cache().size(), in_range);
+}
+
+class WatchEngineTest : public ::testing::TestWithParam<ConsensusKind> {};
+
+TEST_P(WatchEngineTest, SeedAndDeltasMaintainCertifiedCache) {
+  SystemConfig config = WatchConfig(GetParam());
+  System system(config, {/*seed=*/21});
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+
+  Client* writer = system.AddClient();
+  WatchClient* watcher = system.AddWatchClient();
+  const Key lo = "k";  // The whole generated keyspace.
+  const Key hi = "k~";
+  Key hot = data[0].first;
+
+  int committed = 0;
+  bool stop = false;
+  auto loop = StartWriteLoop(&system, writer, hot, "v", &committed, &stop);
+  system.env().Schedule(sim::Millis(60), [&] { watcher->Watch(lo, hi); });
+  system.env().RunUntil(sim::Seconds(2));
+  stop = true;
+  system.env().RunUntil(sim::Seconds(3));
+
+  ASSERT_GT(committed, 20);
+  const WatchClient::Stats& stats = watcher->stats();
+  EXPECT_GE(stats.seeds_applied, 1u);
+  EXPECT_GT(stats.deltas_applied, 10u);
+  // Every applied seed/delta passed certificate + Merkle verification.
+  EXPECT_EQ(stats.verification_failures, 0u);
+  EXPECT_EQ(stats.duplicates_dropped, 0u);
+  EXPECT_EQ(stats.gaps_detected, 0u);
+  ExpectCacheMatchesReplica(system.leader(0), watcher, lo, hi);
+
+  // Server side: one live watch, pushing deltas.
+  EXPECT_EQ(system.leader(0)->active_watches(), 1u);
+  EXPECT_GT(system.leader(0)->stats().watch_deltas_pushed, 10u);
+
+  // Unsubscribe deregisters server-side.
+  watcher->Unwatch();
+  system.env().RunUntil(system.env().now() + sim::Millis(100));
+  EXPECT_EQ(system.leader(0)->active_watches(), 0u);
+}
+
+TEST_P(WatchEngineTest, WatcherSurvivesLeaderCrashWithoutGapOrDuplicate) {
+  SystemConfig config = WatchConfig(GetParam());
+  config.storage_kind = storage::StorageKind::kPaged;
+  config.durability.checkpoint_interval = 8;
+  System system(config, {/*seed=*/22});
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+
+  Client* writer = system.AddClient();
+  WatchClient* watcher = system.AddWatchClient();
+  Key hot = data[0].first;
+  const Key lo = "k";
+  const Key hi = "k~";
+
+  int committed = 0;
+  bool stop = false;
+  auto loop = StartWriteLoop(&system, writer, hot, "w", &committed, &stop);
+  system.env().Schedule(sim::Millis(60), [&] { watcher->Watch(lo, hi); });
+
+  // Crash the leader mid-stream; the cluster elects a successor and the
+  // watcher's silence detector walks the subscription over to it.
+  crypto::NodeId leader_id = system.leader(0)->id();
+  system.env().Schedule(sim::Millis(400),
+                        [&, leader_id] { system.CrashReplica(leader_id); });
+  system.env().Schedule(sim::Seconds(2), [&, leader_id] {
+    ASSERT_TRUE(system.RestartReplica(leader_id).ok());
+  });
+  system.env().RunUntil(sim::Seconds(4));
+  stop = true;
+  system.env().RunUntil(sim::Seconds(5));
+
+  ASSERT_GT(committed, 30);
+  const WatchClient::Stats& stats = watcher->stats();
+  // The stream moved leaders at least once.
+  EXPECT_GE(stats.resubscribes, 1u);
+  // ...but never applied a duplicate, never left a gap unrecovered, and
+  // never accepted an unverifiable delta.
+  EXPECT_EQ(stats.duplicates_dropped, 0u);
+  EXPECT_EQ(stats.verification_failures, 0u);
+  // Compare against a replica that never went down: the restarted
+  // ex-leader still believes in its pre-crash view and may lag behind
+  // the cluster tip until traffic forces it to catch up.
+  ExpectCacheMatchesReplica(system.node(0, 1), watcher, lo, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, WatchEngineTest,
+                         ::testing::Values(ConsensusKind::kPbft,
+                                           ConsensusKind::kLinearVote));
+
+TEST(WatchServiceTest, TruncatedReplayWindowForcesFreshReseed) {
+  SystemConfig config = WatchConfig(ConsensusKind::kPbft);
+  config.snapshot_history = 48;  // Small replay window.
+  System system(config, {/*seed=*/23});
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+
+  Client* writer = system.AddClient();
+  WatchClient* watcher = system.AddWatchClient();
+  Key hot = data[0].first;
+  const Key lo = "k";
+  const Key hi = "k~";
+
+  int committed = 0;
+  bool stop = false;
+  auto loop = StartWriteLoop(&system, writer, hot, "t", &committed, &stop);
+  system.env().Schedule(sim::Millis(60), [&] { watcher->Watch(lo, hi); });
+
+  // Partition the watcher away long enough for the replay window to
+  // rotate past its resume position (>> 48 batches at 5 ms), then heal.
+  system.env().Schedule(sim::Millis(300),
+                        [&] { system.env().network().Disconnect(watcher->id()); });
+  system.env().Schedule(sim::Millis(1500),
+                        [&] { system.env().network().Reconnect(watcher->id()); });
+  system.env().RunUntil(sim::Seconds(3));
+  stop = true;
+  system.env().RunUntil(sim::Seconds(4));
+
+  ASSERT_GT(committed, 100);
+  const WatchClient::Stats& stats = watcher->stats();
+  // The stale resume was rejected with an explicit retryable error and
+  // answered by a second certified seed — never a silent gap.
+  EXPECT_GE(stats.seeds_applied, 2u);
+  EXPECT_EQ(stats.verification_failures, 0u);
+  EXPECT_GE(system.leader(0)->stats().watch_resubscribe_errors, 1u);
+  ExpectCacheMatchesReplica(system.leader(0), watcher, lo, hi);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regressions: read-path correctness fixes.
+// ---------------------------------------------------------------------------
+
+// The stale-snapshot fault clamp must derive its lag from the configured
+// snapshot window. With a window much smaller than the historical
+// hardcoded 64-batch lag, the stale-but-certified reply must still come
+// from retained history and verify.
+TEST(WatchServiceTest, StaleSnapshotClampRespectsSmallRetentionWindow) {
+  SystemConfig config = WatchConfig(ConsensusKind::kPbft);
+  config.snapshot_history = 16;  // Far below the 64-batch standard lag.
+  config.client_timeout = sim::Seconds(2);
+  System system(config, {/*seed=*/24});
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+
+  Client* writer = system.AddClient();
+  Client* reader = system.AddClient();
+  Key hot = data[0].first;
+
+  int committed = 0;
+  bool stop = false;
+  auto loop = StartWriteLoop(&system, writer, hot, "s", &committed, &stop);
+  system.env().RunUntil(sim::Seconds(2));
+  stop = true;
+  system.env().RunUntil(sim::Seconds(3));
+  ASSERT_GT(committed, 80);
+
+  system.leader(0)->SetByzantineBehavior(
+      core::ByzantineBehavior::kStaleSnapshot);
+  std::optional<RoResult> ro;
+  reader->ExecuteReadOnly({hot}, [&](RoResult r) { ro = std::move(r); });
+  system.env().RunUntil(system.env().now() + sim::Seconds(2));
+
+  ASSERT_TRUE(ro.has_value());
+  // Old but certified (§4.4.2): the reply verifies; a clamp below the
+  // retained window would instead bounce between unserviceable retries.
+  EXPECT_TRUE(ro->status.ok()) << ro->status;
+  ASSERT_EQ(ro->values.count(hot), 1u);
+  EXPECT_TRUE(ro->values[hot].has_value());
+}
+
+/// Bare actor that fires one raw round-2 request and records replies —
+/// lets the test park a request with an arbitrary dependency claim.
+struct RoundTwoProbe : public sim::Actor {
+  std::vector<wire::RoReply> replies;
+  void OnStart() override {}
+  void OnMessage(sim::ActorId from, const sim::MessagePtr& msg) override {
+    (void)from;
+    if (static_cast<wire::MessageType>(msg->type()) ==
+        wire::MessageType::kRoReply) {
+      replies.push_back(static_cast<const wire::RoReply&>(*msg));
+    }
+  }
+};
+
+// A round-2 request parked on a leader that is then demoted must be
+// flushed with a retryable unserviceable reply, not stranded forever.
+TEST(WatchServiceTest, ParkedRoundTwoIsFlushedRetryableOnViewChange) {
+  // f = 2 so a half-split equivocation certifies nothing and forces a
+  // view change while the (otherwise honest) leader keeps running — the
+  // crash-stop path would never get to flush anything.
+  SystemConfig config;
+  config.num_partitions = 1;
+  config.f = 2;  // 7 replicas.
+  config.batch_interval = sim::Millis(5);
+  config.view_change_timeout = sim::Millis(80);
+  config.merkle_depth = 8;
+  System system(config, {/*seed=*/25});
+  auto data = TestData(1);
+  system.Preload(data);
+  system.Start();
+
+  core::TransEdgeNode* old_leader = system.leader(0);
+  old_leader->SetByzantineBehavior(core::ByzantineBehavior::kEquivocate);
+
+  Client* writer = system.AddClient();
+  RoundTwoProbe probe;
+  crypto::NodeId probe_id = config.ClientNode(1);
+  system.env().network().Register(probe_id, 0, &probe);
+
+  // Traffic the equivocating leader cannot certify -> view change.
+  system.env().Schedule(sim::Millis(30), [&] {
+    writer->ExecuteReadWrite({}, {WriteOp{data[0].first, ToBytes("x")}},
+                             [](RwResult) {});
+  });
+  // Park a round-2 request whose dependency is a full retention window
+  // ahead — admissible (an honest round-1 reply could claim it), but
+  // unsatisfiable before the view change hits.
+  system.env().Schedule(sim::Millis(50), [&] {
+    wire::RoBatchRequest req;
+    req.request_id = 991;
+    req.reply_to = probe_id;
+    req.keys = {data[0].first};
+    req.min_lce = old_leader->log().LastBatchId() +
+                  static_cast<BatchId>(config.snapshot_history);
+    system.env().network().Send(
+        probe_id, old_leader->id(),
+        std::make_shared<const wire::RoBatchRequest>(std::move(req)));
+  });
+  system.env().RunUntil(sim::Seconds(30));
+
+  // The demoted leader flushed the parked request as retryable
+  // (batch_id == kNoBatch) instead of leaking it.
+  EXPECT_GE(old_leader->stats().ro_round2_aborted, 1u);
+  bool flushed_retryable = false;
+  for (const wire::RoReply& r : probe.replies) {
+    if (r.request_id == 991 && r.batch_id == kNoBatch) {
+      flushed_retryable = true;
+    }
+  }
+  EXPECT_TRUE(flushed_retryable);
+}
+
+}  // namespace
+}  // namespace transedge

@@ -392,6 +392,59 @@ TEST_P(WireRoundTripTest, AugustusMessages) {
   }
 }
 
+TEST_P(WireRoundTripTest, WatchMessages) {
+  Rng rng(GetParam() * 29 + 6);
+  for (int i = 0; i < 10; ++i) {
+    WatchSubscribeRequest sub;
+    sub.watch_id = rng.Next();
+    sub.reply_to = static_cast<sim::ActorId>(rng.NextBounded(1 << 20));
+    sub.range_lo = RandKey(rng);
+    sub.range_hi = RandKey(rng);
+    sub.resume_from =
+        rng.NextBounded(2) == 0 ? kNoBatch
+                                : static_cast<BatchId>(rng.NextBounded(50));
+    CheckRoundTrip(sub);
+
+    WatchSubscribeReply reply;
+    reply.watch_id = rng.Next();
+    reply.partition = static_cast<PartitionId>(rng.NextBounded(4));
+    reply.epoch = rng.NextBounded(10) + 1;
+    reply.batch_id = static_cast<BatchId>(rng.NextBounded(50));
+    reply.resumed = rng.NextBounded(2) == 0;
+    for (size_t k = rng.NextBounded(3); k > 0; --k) {
+      reply.entries.push_back(RandAuthenticatedRead(rng));
+    }
+    reply.certificate = RandCert(rng);
+    CheckRoundTrip(reply);
+
+    WatchDeltaMsg delta;
+    delta.watch_id = rng.Next();
+    delta.partition = static_cast<PartitionId>(rng.NextBounded(4));
+    delta.epoch = rng.NextBounded(10) + 1;
+    delta.batch_id = static_cast<BatchId>(rng.NextBounded(50));
+    delta.prev_batch_id = delta.batch_id - 1;
+    for (size_t k = rng.NextBounded(3); k > 0; --k) {
+      delta.entries.push_back(RandAuthenticatedRead(rng));
+    }
+    delta.certificate = RandCert(rng);
+    CheckRoundTrip(delta);
+
+    WatchUnsubscribe unsub;
+    unsub.watch_id = rng.Next();
+    unsub.reply_to = static_cast<sim::ActorId>(rng.NextBounded(1 << 20));
+    CheckRoundTrip(unsub);
+
+    WatchResubscribeRequired resub;
+    resub.watch_id = rng.Next();
+    resub.partition = static_cast<PartitionId>(rng.NextBounded(4));
+    resub.epoch = rng.NextBounded(10) + 1;
+    resub.horizon =
+        rng.NextBounded(2) == 0 ? kNoBatch
+                                : static_cast<BatchId>(rng.NextBounded(50));
+    CheckRoundTrip(resub);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 

@@ -39,6 +39,7 @@ std::string EngineGroupOf(const std::string& path) {
   if (path.rfind("core/two_pc_coordinator.", 0) == 0) return "two-pc";
   if (path.rfind("core/read_only_service.", 0) == 0) return "read-only";
   if (path.rfind("core/augustus_baseline.", 0) == 0) return "augustus";
+  if (path.rfind("core/watch_service.", 0) == 0) return "watch";
   return "";
 }
 
